@@ -1,0 +1,49 @@
+"""Benchmark: ablations of the paper's design choices (see DESIGN.md)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation
+
+
+def test_ablation_rounding(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        ablation.run_rounding, args=(scale, seed), rounds=1, iterations=1
+    )
+    costs = table.column("Expected cost")
+    # Rounding preserves the greedy behaviour up to small perturbations.
+    assert costs[0] == pytest.approx(costs[1], rel=0.25)
+    report("ablation_rounding", table.render())
+
+
+def test_ablation_heap(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        ablation.run_heap, args=(scale, seed), rounds=1, iterations=1
+    )
+    costs = table.column("Expected cost")
+    # Footnote 3's heap changes the constant factor, never the decisions.
+    assert costs[0] == pytest.approx(costs[1])
+    report("ablation_heap", table.render())
+
+
+def test_ablation_batch(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        ablation.run_batch, args=(scale, seed), rounds=1, iterations=1
+    )
+    rounds = table.column("Avg rounds")
+    questions = table.column("Avg questions")
+    # Larger batches => fewer rounds but more total questions.
+    assert rounds[-1] < rounds[0]
+    assert questions[-1] >= questions[0]
+    report("ablation_batch", table.render())
+
+
+def test_ablation_caigs(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        ablation.run_caigs, args=(scale, seed), rounds=1, iterations=1
+    )
+    prices = dict(zip(table.column("Policy"), table.column("Expected price")))
+    # The price-aware greedy never pays (meaningfully) more.
+    assert prices["CostGreedy"] <= prices["GreedyNaive"] * 1.05
+    report("ablation_caigs", table.render())

@@ -1,0 +1,15 @@
+"""Benchmark: the paper's Example 2 arithmetic (exact reproduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import example2
+
+
+def test_example2(benchmark, report):
+    table = benchmark.pedantic(example2.run, rounds=1, iterations=1)
+    by_policy = {row["Policy"]: row for row in table.rows}
+    assert by_policy["GreedyTree"]["Expected cost"] == pytest.approx(2.04)
+    assert by_policy["WIGS"]["Expected cost"] == pytest.approx(2.60)
+    report("example2", table.render())

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 4 (online learning of the distribution)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, scale, seed, report):
+    panels = benchmark.pedantic(
+        fig4.run, args=(scale, seed), rounds=1, iterations=1
+    )
+    text = []
+    for panel in panels:
+        online_name = next(n for n in panel.lines if "online" in n)
+        online = panel.lines[online_name]
+        offline = panel.lines["Given Real Dist."][0]
+        wigs = panel.lines["WIGS"][0]
+        # The paper's finding: the online curve converges to the offline
+        # greedy cost, both well below WIGS.
+        assert offline < wigs
+        assert online[-1] <= offline * 1.35
+        text.append(panel.render())
+    report("fig4", "\n\n".join(text))

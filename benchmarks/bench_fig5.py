@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 5 (cost versus Zipf skew)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scale, seed, report):
+    panels = benchmark.pedantic(
+        fig5.run, args=(scale, seed), rounds=1, iterations=1
+    )
+    text = []
+    for panel in panels:
+        greedy_name = next(n for n in panel.lines if n != "Equal Pr.")
+        costs = panel.lines[greedy_name]
+        equal = panel.lines["Equal Pr."][0]
+        # Cost grows with a and approaches the equal-probability cost.
+        assert costs[0] < costs[-1] <= equal * 1.1
+        text.append(panel.render())
+    report("fig5", "\n\n".join(text))

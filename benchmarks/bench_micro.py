@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the core operations (complements Fig. 6).
+
+Unlike the experiment benches (one-shot pedantic runs of whole experiments),
+these time individual library operations over many rounds: full searches per
+policy, policy reset (the per-object cost in online labelling), and
+hierarchy construction.  Regressions here are regressions in the paper's
+complexity claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ExactOracle
+from repro.core.session import run_search
+from repro.policies import (
+    GreedyDagPolicy,
+    GreedyTreePolicy,
+    MigsPolicy,
+    TopDownPolicy,
+    WigsPolicy,
+)
+from repro.taxonomy import amazon_catalog, amazon_like, imagenet_catalog, imagenet_like
+
+_N = 1_000
+
+
+@pytest.fixture(scope="module")
+def tree_setup():
+    hierarchy = amazon_like(_N, seed=7)
+    dist = amazon_catalog(hierarchy, num_objects=20 * _N).to_distribution()
+    targets = dist.sample(np.random.default_rng(0), size=64)
+    return hierarchy, dist, targets
+
+
+@pytest.fixture(scope="module")
+def dag_setup():
+    hierarchy = imagenet_like(_N, seed=11)
+    dist = imagenet_catalog(hierarchy, num_objects=20 * _N).to_distribution()
+    targets = dist.sample(np.random.default_rng(0), size=64)
+    return hierarchy, dist, targets
+
+
+def _search_loop(policy, hierarchy, dist, targets):
+    total = 0
+    for target in targets:
+        total += run_search(
+            policy, ExactOracle(hierarchy, target), hierarchy, dist
+        ).num_queries
+    return total
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [GreedyTreePolicy, WigsPolicy, TopDownPolicy, MigsPolicy],
+    ids=lambda f: f.__name__,
+)
+def test_search_tree_1k(benchmark, tree_setup, factory):
+    hierarchy, dist, targets = tree_setup
+    policy = factory()
+    total = benchmark(_search_loop, policy, hierarchy, dist, targets)
+    assert total > 0
+
+
+def test_search_dag_1k_greedy(benchmark, dag_setup):
+    hierarchy, dist, targets = dag_setup
+    policy = GreedyDagPolicy()
+    total = benchmark(_search_loop, policy, hierarchy, dist, targets)
+    assert total > 0
+
+
+def test_greedy_tree_reset_1k(benchmark, tree_setup):
+    """Per-object state rebuild cost in online labelling (O(n))."""
+    hierarchy, dist, _ = tree_setup
+    policy = GreedyTreePolicy()
+    benchmark(policy.reset, hierarchy, dist)
+
+
+def test_greedy_dag_reset_cached_1k(benchmark, dag_setup):
+    """Reset with a warm static cache (the all-targets evaluation path)."""
+    hierarchy, dist, _ = dag_setup
+    policy = GreedyDagPolicy()
+    policy.reset(hierarchy, dist)  # warm the (hierarchy, dist) cache
+    benchmark(policy.reset, hierarchy, dist)
+
+
+def test_hierarchy_construction_1k(benchmark):
+    benchmark(amazon_like, _N, 7)

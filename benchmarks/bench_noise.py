@@ -1,0 +1,21 @@
+"""Benchmark: the noise study (paper Section VII future-work baseline)."""
+
+from __future__ import annotations
+
+from repro.experiments import noise
+
+
+def test_noise(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        noise.run, args=(scale, seed), rounds=1, iterations=1
+    )
+    rows = {row["Strategy"]: row for row in table.rows}
+
+    def accuracy(name):
+        return float(rows[name]["Accuracy"].rstrip("%")) / 100
+
+    assert accuracy("clean oracle") == 1.0
+    # Noise hurts; majority voting recovers transient noise.
+    assert accuracy("transient noise") < 1.0
+    assert accuracy("transient + 5-vote majority") > accuracy("transient noise")
+    report("noise", table.render())

@@ -1,0 +1,23 @@
+"""Benchmark: empirical complexity scaling (Section IV claims)."""
+
+from __future__ import annotations
+
+from repro.experiments import scaling
+
+
+def test_scaling(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        scaling.run,
+        args=(scale, seed),
+        kwargs={"sizes": (250, 500, 1000), "samples": 16},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row["n"]: row for row in table.rows}
+    # Per-search time of the efficient policies grows sub-quadratically:
+    # an 4x size increase must not cost anywhere near a 16x slowdown.
+    tree_ratio = rows[1000]["GreedyTree"] / max(rows[250]["GreedyTree"], 1e-9)
+    assert tree_ratio < 12.0
+    # The naive algorithm is already far slower at the sizes it runs.
+    assert rows[500]["GreedyNaive (tree)"] > rows[500]["GreedyTree"]
+    report("scaling", table.render())

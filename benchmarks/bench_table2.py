@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, scale, seed, report):
+    table = benchmark.pedantic(
+        table2.run, args=(scale, seed), rounds=1, iterations=1
+    )
+    assert len(table.rows) == 4
+    report("table2", table.render())

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table IV (synthetic distributions, Amazon tree)."""
+
+from __future__ import annotations
+
+from repro.experiments import table45
+
+
+def test_table4(benchmark, scale, seed, report):
+    tables = benchmark.pedantic(
+        table45.run,
+        args=(scale, seed),
+        kwargs={"dataset_name": "Amazon"},
+        rounds=1,
+        iterations=1,
+    )
+    (table,) = tables
+    by_family = {row["Distribution"]: row for row in table.rows}
+    # Skew helps greedy: zipf < exponential-ish < equal.
+    assert by_family["zipf"]["Greedy"] < by_family["equal"]["Greedy"]
+    report("table4", table.render())

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table V (synthetic distributions, ImageNet DAG)."""
+
+from __future__ import annotations
+
+from repro.experiments import table45
+
+
+def test_table5(benchmark, scale, seed, report):
+    tables = benchmark.pedantic(
+        table45.run,
+        args=(scale, seed),
+        kwargs={"dataset_name": "ImageNet"},
+        rounds=1,
+        iterations=1,
+    )
+    (table,) = tables
+    by_family = {row["Distribution"]: row for row in table.rows}
+    assert by_family["zipf"]["Greedy"] < by_family["equal"]["Greedy"]
+    report("table5", table.render())

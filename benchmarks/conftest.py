@@ -1,0 +1,69 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure and prints the same
+rows/series the paper reports (straight to the terminal, bypassing capture,
+so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+them).  The scale is selected with the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny`` / ``small`` / ``paper``); the default is a middle setting
+sized so the whole suite finishes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.experiments import SMALL, Scale, get_scale, scaled
+
+#: Default benchmark scale: big enough that the paper's relative findings
+#: are visible, small enough for a few-minute suite.
+BENCH = scaled(
+    SMALL,
+    name="bench",
+    amazon_nodes=1_200,
+    imagenet_nodes=900,
+    num_objects=120_000,
+    online_objects=6_000,
+    online_block=1_000,
+    online_traces=2,
+    online_refresh=20,
+    trials=2,
+    max_targets=300,
+    fig6_nodes=250,
+    fig6_per_depth=2,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE")
+    if not name:
+        return BENCH
+    return get_scale(name)
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered table/series to the real terminal and results/."""
+
+    def emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return emit

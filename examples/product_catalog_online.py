@@ -1,0 +1,63 @@
+"""Product categorization with an unknown distribution, learned on the fly.
+
+The paper's Fig. 4 scenario as a user-facing workflow: a merchant must file
+a stream of new products into an Amazon-like category tree, but has no prior
+statistics.  The empirical distribution is learned from each finished label
+and immediately drives the next search; the per-block average cost decays
+towards the cost achievable with the true distribution.
+
+Run:  python examples/product_catalog_online.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.evaluation import evaluate_expected_cost
+from repro.online import simulate_online_labeling
+from repro.policies import GreedyTreePolicy, WigsPolicy
+from repro.taxonomy import amazon_catalog, amazon_like
+
+
+def main() -> None:
+    hierarchy = amazon_like(1000, seed=7)
+    catalog = amazon_catalog(hierarchy, num_objects=60_000)
+    truth = catalog.to_distribution()
+    rng = np.random.default_rng(1)
+
+    offline = evaluate_expected_cost(
+        GreedyTreePolicy(), hierarchy, truth, max_targets=400, rng=rng
+    ).expected_queries
+    wigs = evaluate_expected_cost(
+        WigsPolicy(), hierarchy, truth, max_targets=400, rng=rng
+    ).expected_queries
+
+    stream = catalog.stream(rng, max_objects=5_000)
+    run = simulate_online_labeling(
+        GreedyTreePolicy(),
+        hierarchy,
+        stream,
+        block_size=500,
+        refresh_every=10,
+    )
+
+    print(f"Catalog tree: {hierarchy.n} categories; labelling 5,000 products\n")
+    print("  products   avg questions (online)   offline greedy   WIGS")
+    for i, cost in enumerate(run.block_costs):
+        print(
+            f"  {(i + 1) * run.block_size:8d}   {cost:22.2f}   {offline:14.2f}"
+            f"   {wigs:4.2f}"
+        )
+    print(
+        "\nThe online policy approaches the true-distribution cost as the"
+        "\nempirical statistics sharpen — no prior knowledge required."
+    )
+
+
+if __name__ == "__main__":
+    main()

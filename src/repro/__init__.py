@@ -1,0 +1,81 @@
+"""Reproduction of *Cost-Effective Algorithms for Average-Case Interactive
+Graph Search* (Cong, Tang, Huang, Chen, Chee — ICDE 2022).
+
+Quickstart::
+
+    from repro import Hierarchy, TargetDistribution, search_for_target
+    from repro.policies import GreedyTreePolicy
+
+    h = Hierarchy([("vehicle", "car"), ("car", "nissan"), ("nissan", "sentra")])
+    dist = TargetDistribution({"vehicle": .1, "car": .1, "nissan": .2, "sentra": .6})
+    result = search_for_target(GreedyTreePolicy(), h, target="sentra", distribution=dist)
+    print(result.returned, result.num_queries)
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-versus-measured numbers.
+"""
+
+from repro.core import (
+    CandidateGraph,
+    CountingOracle,
+    DecisionTree,
+    ExactOracle,
+    Hierarchy,
+    MajorityVoteOracle,
+    NoisyOracle,
+    Oracle,
+    Policy,
+    QueryCostModel,
+    SearchResult,
+    TableCost,
+    TargetDistribution,
+    UnitCost,
+    build_decision_tree,
+    random_costs,
+    run_search,
+    search_for_target,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    CostModelError,
+    CycleError,
+    DistributionError,
+    HierarchyError,
+    OracleError,
+    PolicyError,
+    ReproError,
+    SearchError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExceededError",
+    "CandidateGraph",
+    "CostModelError",
+    "CountingOracle",
+    "CycleError",
+    "DecisionTree",
+    "DistributionError",
+    "ExactOracle",
+    "Hierarchy",
+    "HierarchyError",
+    "MajorityVoteOracle",
+    "NoisyOracle",
+    "Oracle",
+    "OracleError",
+    "Policy",
+    "PolicyError",
+    "QueryCostModel",
+    "ReproError",
+    "SearchError",
+    "SearchResult",
+    "TableCost",
+    "TargetDistribution",
+    "UnitCost",
+    "build_decision_tree",
+    "random_costs",
+    "run_search",
+    "search_for_target",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Two modes:
+
+* experiment mode — regenerate any paper table/figure at a chosen scale and
+  print the paper-style output (``all`` runs the full suite);
+* interactive mode — ``python -m repro interactive --edges hierarchy.tsv``
+  categorises one object by asking *you* the reachability questions, i.e.
+  the paper's crowdsourcing workflow with a human-in-the-terminal oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, get_scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aigs",
+        description=(
+            "Reproduction of 'Cost-Effective Algorithms for Average-Case "
+            "Interactive Graph Search' (ICDE 2022)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "interactive"],
+        help="paper table/figure to regenerate, or 'interactive'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "paper"),
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed (default: 0)"
+    )
+    parser.add_argument(
+        "--edges",
+        help="interactive mode: tab-separated parent<TAB>child edge list",
+    )
+    parser.add_argument(
+        "--policy",
+        default="greedy-tree",
+        help="interactive mode: policy registry name (default: greedy-tree)",
+    )
+    return parser
+
+
+def _run_interactive(args) -> int:
+    from repro.interactive import console_search
+    from repro.policies import greedy_for, make_policy
+    from repro.taxonomy import load_edge_list
+
+    if not args.edges:
+        print("interactive mode needs --edges <file>", file=sys.stderr)
+        return 2
+    hierarchy = load_edge_list(args.edges)
+    if args.policy == "auto":
+        policy = greedy_for(hierarchy)
+    else:
+        policy = make_policy(args.policy)
+    console_search(policy, hierarchy)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "interactive":
+        return _run_interactive(args)
+    scale = get_scale(args.scale)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        EXPERIMENTS[name](scale, args.seed)
+        elapsed = time.perf_counter() - start
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Core substrate: hierarchies, distributions, oracles, and the IGS framework."""
+
+from repro.core.candidate import CandidateGraph
+from repro.core.costs import QueryCostModel, TableCost, UnitCost, random_costs
+from repro.core.decision_tree import (
+    DecisionTree,
+    Leaf,
+    Question,
+    build_decision_tree,
+)
+from repro.core.distribution import SYNTHETIC_FAMILIES, TargetDistribution
+from repro.core.hierarchy import DUMMY_ROOT, Hierarchy
+from repro.core.oracle import (
+    CountingOracle,
+    ExactOracle,
+    MajorityVoteOracle,
+    NoisyOracle,
+    Oracle,
+)
+from repro.core.policy import Policy, PolicyFactory
+from repro.core.session import SearchResult, run_search, search_for_target
+
+__all__ = [
+    "CandidateGraph",
+    "CountingOracle",
+    "DecisionTree",
+    "DUMMY_ROOT",
+    "ExactOracle",
+    "Hierarchy",
+    "Leaf",
+    "MajorityVoteOracle",
+    "NoisyOracle",
+    "Oracle",
+    "Policy",
+    "PolicyFactory",
+    "Question",
+    "QueryCostModel",
+    "SearchResult",
+    "SYNTHETIC_FAMILIES",
+    "TableCost",
+    "TargetDistribution",
+    "UnitCost",
+    "build_decision_tree",
+    "random_costs",
+    "run_search",
+    "search_for_target",
+]

@@ -1,0 +1,151 @@
+"""Mutable candidate-graph state for the IGS framework (Algorithm 1).
+
+During a search the candidate graph shrinks: a *yes* answer to ``reach(q)``
+replaces ``G`` by ``G_q`` (the subgraph rooted at ``q``) and a *no* answer by
+``G \\ G_q``.  :class:`CandidateGraph` tracks this state over a fixed
+:class:`~repro.core.hierarchy.Hierarchy` with an alive-flag per node, which is
+exactly the representation the paper's naive and DAG algorithms operate on.
+
+A subtle point justified in the paper's framework (and re-proved in
+``tests/test_candidate.py``): for any node that is still a candidate,
+reachability *within the pruned graph* coincides with reachability in the
+original hierarchy, because a deleted node that could reach a candidate would
+contradict the no-answer that deleted it.  Policies may therefore run BFS on
+the alive subgraph only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import SearchError
+
+
+class CandidateGraph:
+    """Alive-set view of a hierarchy implementing the Algorithm-1 updates."""
+
+    __slots__ = ("hierarchy", "_alive", "_root", "_n_alive")
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hierarchy = hierarchy
+        self._alive = bytearray([1] * hierarchy.n)
+        self._root = hierarchy.root_ix
+        self._n_alive = hierarchy.n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root_ix(self) -> int:
+        """Index of the root of the current candidate graph."""
+        return self._root
+
+    @property
+    def root(self) -> Hashable:
+        return self.hierarchy.label(self._root)
+
+    @property
+    def size(self) -> int:
+        """Number of candidate nodes remaining."""
+        return self._n_alive
+
+    def is_alive(self, ix: int) -> bool:
+        return bool(self._alive[ix])
+
+    def contains(self, label: Hashable) -> bool:
+        return bool(self._alive[self.hierarchy.index(label)])
+
+    def candidates(self) -> list[Hashable]:
+        """Labels of all remaining candidates (root-reachable alive nodes)."""
+        return [
+            self.hierarchy.label(ix) for ix in self.reachable_ix(self._root)
+        ]
+
+    def alive_children_ix(self, ix: int) -> list[int]:
+        """Alive children of an alive node."""
+        return [c for c in self.hierarchy.children_ix(ix) if self._alive[c]]
+
+    def is_leaf_ix(self, ix: int) -> bool:
+        """True when ``ix`` has no alive children."""
+        return not any(
+            self._alive[c] for c in self.hierarchy.children_ix(ix)
+        )
+
+    @property
+    def settled(self) -> bool:
+        """True when exactly one candidate remains (the search result)."""
+        return self._n_alive == 1 or self.is_leaf_ix(self._root)
+
+    def result(self) -> Hashable:
+        """The identified target (only valid once :attr:`settled`)."""
+        if not self.settled:
+            raise SearchError("candidate graph still has several candidates")
+        return self.hierarchy.label(self._root)
+
+    # ------------------------------------------------------------------
+    # Reachability within the alive subgraph
+    # ------------------------------------------------------------------
+    def reachable_ix(self, start: int) -> list[int]:
+        """Alive nodes reachable from ``start`` (inclusive) — ``G_start``."""
+        if not self._alive[start]:
+            raise SearchError(
+                f"node {self.hierarchy.label(start)!r} is no longer a candidate"
+            )
+        alive = self._alive
+        children = self.hierarchy.children_ix
+        seen = {start}
+        queue = deque([start])
+        order = [start]
+        while queue:
+            u = queue.popleft()
+            for v in children(u):
+                if alive[v] and v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    queue.append(v)
+        return order
+
+    # ------------------------------------------------------------------
+    # Algorithm-1 updates
+    # ------------------------------------------------------------------
+    def apply_yes(self, query_ix: int) -> list[int]:
+        """``G <- G_q``: restrict candidates to the subgraph rooted at ``q``.
+
+        Returns the indices of the surviving candidates.
+        """
+        reachable = self.reachable_ix(query_ix)
+        keep = set(reachable)
+        # Nodes outside G_q are eliminated.
+        alive = self._alive
+        for ix in self.reachable_ix(self._root):
+            if ix not in keep:
+                alive[ix] = 0
+        self._root = query_ix
+        self._n_alive = len(reachable)
+        return reachable
+
+    def apply_no(self, query_ix: int) -> list[int]:
+        """``G <- G \\ G_q``: eliminate the subgraph rooted at ``q``.
+
+        Returns the indices of the eliminated nodes.
+        """
+        if query_ix == self._root:
+            raise SearchError(
+                "a no-answer on the current root would empty the candidate set"
+            )
+        removed = self.reachable_ix(query_ix)
+        alive = self._alive
+        for ix in removed:
+            alive[ix] = 0
+        self._n_alive -= len(removed)
+        return removed
+
+    def apply(self, query_label: Hashable, answer: bool) -> None:
+        """Label-level convenience wrapper over the two updates above."""
+        ix = self.hierarchy.index(query_label)
+        if answer:
+            self.apply_yes(ix)
+        else:
+            self.apply_no(ix)

@@ -1,0 +1,268 @@
+"""Decision trees of interactive policies (Definitions 5–7 of the paper).
+
+Any deterministic policy induces a binary decision tree: internal nodes are
+queries, the left/yes branch restricts to ``G_q``, the right/no branch removes
+``G_q``, and leaves are identified targets.  The expected cost of the policy
+is the probability-weighted sum of leaf depths (Equation 2), and for CAIGS the
+weighted sum of root-to-leaf price totals (Equation 4).
+
+:func:`build_decision_tree` materialises this tree by exploring both answers
+of every reachable question.  Policy state is re-created for each branch by
+replaying the answer prefix, so policies only need to be deterministic — no
+cloning support is required.  This costs ``O(sum of node depths)`` policy
+steps, which is fine for the verification and visualisation sizes it is meant
+for; large-scale evaluation uses per-target simulation instead
+(:mod:`repro.evaluation.expected_cost`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.policy import PolicyFactory
+from repro.exceptions import SearchError
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A decision-tree leaf: the search result (Definition 6)."""
+
+    target: Hashable
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Question:
+    """An internal decision-tree node: a ``reach(query)`` question."""
+
+    query: Hashable
+    yes: "Question | Leaf"
+    no: "Question | Leaf"
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+class DecisionTree:
+    """The decision tree of a deterministic policy over a hierarchy."""
+
+    def __init__(self, root: Question | Leaf, hierarchy: Hierarchy) -> None:
+        self.root = root
+        self.hierarchy = hierarchy
+
+    # ------------------------------------------------------------------
+    # Costs (Definitions 7 and 8)
+    # ------------------------------------------------------------------
+    def leaf_depths(self) -> dict[Hashable, int]:
+        """Depth (number of questions) of every leaf, keyed by target."""
+        depths: dict[Hashable, int] = {}
+        stack: list[tuple[Question | Leaf, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if isinstance(node, Leaf):
+                if node.target in depths:
+                    raise SearchError(
+                        f"target {node.target!r} appears at two leaves"
+                    )
+                depths[node.target] = depth
+            else:
+                stack.append((node.yes, depth + 1))
+                stack.append((node.no, depth + 1))
+        return depths
+
+    def leaf_prices(self, cost_model: QueryCostModel) -> dict[Hashable, float]:
+        """Total query price on the root-to-leaf path, keyed by target."""
+        prices: dict[Hashable, float] = {}
+        stack: list[tuple[Question | Leaf, float]] = [(self.root, 0.0)]
+        while stack:
+            node, price = stack.pop()
+            if isinstance(node, Leaf):
+                prices[node.target] = price
+            else:
+                step = price + cost_model.cost(node.query)
+                stack.append((node.yes, step))
+                stack.append((node.no, step))
+        return prices
+
+    def expected_cost(self, distribution: TargetDistribution) -> float:
+        """Equation (2): ``sum_v p(v) * depth(v)``."""
+        return sum(
+            distribution.p(target) * depth
+            for target, depth in self.leaf_depths().items()
+        )
+
+    def expected_price(
+        self, distribution: TargetDistribution, cost_model: QueryCostModel
+    ) -> float:
+        """Equation (4): ``sum_v p(v) * price-of-path(v)``."""
+        return sum(
+            distribution.p(target) * price
+            for target, price in self.leaf_prices(cost_model).items()
+        )
+
+    def worst_case_cost(self) -> int:
+        """Maximum number of questions over all targets (the WIGS metric)."""
+        return max(self.leaf_depths().values())
+
+    def num_questions(self) -> int:
+        """Number of internal nodes."""
+        internal = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Question):
+                internal += 1
+                stack.append(node.yes)
+                stack.append(node.no)
+        return internal
+
+    # ------------------------------------------------------------------
+    # Serialisation (precompile once, execute per object)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (string labels assumed).
+
+        Iterative encoding, so arbitrarily deep trees serialise without
+        hitting the recursion limit.
+        """
+        nodes: list[dict] = []
+
+        def encode(node: Question | Leaf) -> int:
+            """Post-order encoding; returns the node's index."""
+            stack: list[tuple[Question | Leaf, bool]] = [(node, False)]
+            index: dict[int, int] = {}
+            while stack:
+                item, expanded = stack.pop()
+                if isinstance(item, Leaf):
+                    index[id(item)] = len(nodes)
+                    nodes.append({"target": str(item.target)})
+                elif not expanded:
+                    stack.append((item, True))
+                    stack.append((item.yes, False))
+                    stack.append((item.no, False))
+                else:
+                    index[id(item)] = len(nodes)
+                    nodes.append(
+                        {
+                            "query": str(item.query),
+                            "yes": index[id(item.yes)],
+                            "no": index[id(item.no)],
+                        }
+                    )
+            return index[id(node)]
+
+        root_index = encode(self.root)
+        return {"version": 1, "root": root_index, "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, payload: dict, hierarchy: Hierarchy) -> "DecisionTree":
+        """Rebuild a tree written by :meth:`to_dict`."""
+        try:
+            raw_nodes = payload["nodes"]
+            root_index = payload["root"]
+        except (KeyError, TypeError) as exc:
+            raise SearchError(f"malformed decision-tree payload: {exc}") from exc
+        built: list[Question | Leaf | None] = [None] * len(raw_nodes)
+        try:
+            for i, raw in enumerate(raw_nodes):
+                if "target" in raw:
+                    built[i] = Leaf(raw["target"])
+                else:
+                    yes = built[raw["yes"]]
+                    no = built[raw["no"]]
+                    if yes is None or no is None:
+                        raise IndexError("children must precede parents")
+                    built[i] = Question(raw["query"], yes, no)
+            root = built[root_index]
+        except (IndexError, KeyError, TypeError) as exc:
+            raise SearchError(
+                f"malformed decision-tree payload: {exc}"
+            ) from exc
+        if root is None:
+            raise SearchError("malformed decision-tree payload: empty root")
+        return cls(root, hierarchy)
+
+    def validate(self) -> None:
+        """Check the leaves biject with the hierarchy's nodes.
+
+        Every node can be the target, so a sound policy's decision tree has
+        exactly one leaf per hierarchy node (Section III-C observation).
+        """
+        depths = self.leaf_depths()
+        missing = set(self.hierarchy.nodes) - set(depths)
+        extra = set(depths) - set(self.hierarchy.nodes)
+        if missing or extra:
+            raise SearchError(
+                f"decision tree leaves do not cover the node set; "
+                f"missing={sorted(map(repr, missing))[:5]} "
+                f"extra={sorted(map(repr, extra))[:5]}"
+            )
+
+
+def build_decision_tree(
+    policy_factory: PolicyFactory,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    max_depth: int | None = None,
+) -> DecisionTree:
+    """Materialise the decision tree of a deterministic policy.
+
+    Parameters
+    ----------
+    policy_factory:
+        Zero-argument callable returning a fresh policy (determinism across
+        instances is assumed and checked lightly).
+    max_depth:
+        Safety bound on the tree depth; defaults to ``2 * n + 10``.
+    """
+    model = cost_model or UnitCost()
+    depth_cap = max_depth if max_depth is not None else 2 * hierarchy.n + 10
+
+    def replay(prefix: tuple[bool, ...]):
+        """Fresh policy advanced through the given answer prefix."""
+        policy = policy_factory()
+        policy.reset(hierarchy, distribution, model)
+        for answer in prefix:
+            if policy.done():
+                raise SearchError(
+                    "policy finished mid-prefix; it is not deterministic"
+                )
+            policy.propose()
+            policy.observe(answer)
+        return policy
+
+    def expand(prefix: tuple[bool, ...]) -> Question | Leaf:
+        if len(prefix) > depth_cap:
+            raise SearchError(
+                f"decision tree deeper than {depth_cap}; "
+                "the policy appears not to terminate"
+            )
+        policy = replay(prefix)
+        if policy.done():
+            return Leaf(policy.result())
+        query = policy.propose()
+        return Question(
+            query=query,
+            yes=expand(prefix + (True,)),
+            no=expand(prefix + (False,)),
+        )
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * depth_cap + 100))
+    try:
+        root = expand(())
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return DecisionTree(root, hierarchy)

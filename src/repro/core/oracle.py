@@ -1,0 +1,147 @@
+"""Oracles answering reachability questions (the crowd, in the paper).
+
+Given the hidden target ``z``, a query on node ``q`` returns *yes* iff there
+is a directed path from ``q`` to ``z`` (Section II).  The paper's crowd is
+modelled by:
+
+* :class:`ExactOracle` — always truthful (the paper's main setting);
+* :class:`NoisyOracle` — flips answers, either independently per question
+  (transient noise) or with a fixed per-node error pattern (the *persistent*
+  noise the paper's future-work section highlights);
+* :class:`MajorityVoteOracle` — asks a noisy oracle ``2t + 1`` times per
+  question and takes the majority, a standard crowdsourcing mitigation;
+* :class:`CountingOracle` — a wrapper accounting for the number of questions
+  and their total price under a :class:`~repro.core.costs.QueryCostModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import OracleError
+
+
+class Oracle(ABC):
+    """Answers ``reach(q)`` questions about a hidden target node."""
+
+    @abstractmethod
+    def answer(self, query: Hashable) -> bool:
+        """True iff the target is reachable from ``query``."""
+
+
+class ExactOracle(Oracle):
+    """A truthful oracle backed by the hierarchy's reachability relation.
+
+    The ancestors of the target are precomputed once, so each answer is an
+    O(1) set lookup regardless of hierarchy size.
+    """
+
+    def __init__(self, hierarchy: Hierarchy, target: Hashable) -> None:
+        if target not in hierarchy:
+            raise OracleError(f"target {target!r} is not a hierarchy node")
+        self.hierarchy = hierarchy
+        self.target = target
+        self._yes_nodes = hierarchy.ancestors(target, include_self=True)
+
+    def answer(self, query: Hashable) -> bool:
+        if query not in self.hierarchy:
+            raise OracleError(f"query {query!r} is not a hierarchy node")
+        return query in self._yes_nodes
+
+
+class NoisyOracle(Oracle):
+    """Wraps another oracle and corrupts its answers.
+
+    Parameters
+    ----------
+    inner:
+        The truthful oracle to corrupt.
+    error_rate:
+        Probability of flipping an answer.
+    rng:
+        Random generator driving the noise.
+    persistent:
+        When true, each node is assigned a fixed "the crowd is wrong about
+        this node" flag with probability ``error_rate``; repeated questions on
+        the same node then return the same (possibly wrong) answer.  This
+        models the persistent noise observed in prior IGS experiments
+        (Section VII).  When false, each question flips independently.
+    """
+
+    def __init__(
+        self,
+        inner: Oracle,
+        error_rate: float,
+        rng: np.random.Generator,
+        *,
+        persistent: bool = False,
+    ) -> None:
+        if not 0.0 <= error_rate < 0.5:
+            raise OracleError(
+                f"error_rate must be in [0, 0.5), got {error_rate}"
+            )
+        self.inner = inner
+        self.error_rate = error_rate
+        self.persistent = persistent
+        self._rng = rng
+        self._flips: dict[Hashable, bool] = {}
+
+    def answer(self, query: Hashable) -> bool:
+        truth = self.inner.answer(query)
+        if self.persistent:
+            flip = self._flips.get(query)
+            if flip is None:
+                flip = bool(self._rng.random() < self.error_rate)
+                self._flips[query] = flip
+        else:
+            flip = bool(self._rng.random() < self.error_rate)
+        return truth ^ flip
+
+
+class MajorityVoteOracle(Oracle):
+    """Repeats each question ``2t + 1`` times and returns the majority answer.
+
+    Each repetition is charged separately when combined with a
+    :class:`CountingOracle` placed *inside* this wrapper; place the counter
+    outside to charge one unit per majority-voted question instead.
+    """
+
+    def __init__(self, inner: Oracle, *, votes: int = 3) -> None:
+        if votes < 1 or votes % 2 == 0:
+            raise OracleError(f"votes must be an odd positive count, got {votes}")
+        self.inner = inner
+        self.votes = votes
+
+    def answer(self, query: Hashable) -> bool:
+        yes = sum(1 for _ in range(self.votes) if self.inner.answer(query))
+        return yes * 2 > self.votes
+
+
+class CountingOracle(Oracle):
+    """Accounting wrapper: counts questions and sums their prices."""
+
+    def __init__(
+        self, inner: Oracle, cost_model: QueryCostModel | None = None
+    ) -> None:
+        self.inner = inner
+        self.cost_model = cost_model or UnitCost()
+        self.num_queries = 0
+        self.total_price = 0.0
+        self.transcript: list[tuple[Hashable, bool]] = []
+
+    def answer(self, query: Hashable) -> bool:
+        result = self.inner.answer(query)
+        self.num_queries += 1
+        self.total_price += self.cost_model.cost(query)
+        self.transcript.append((query, result))
+        return result
+
+    def reset_counters(self) -> None:
+        self.num_queries = 0
+        self.total_price = 0.0
+        self.transcript.clear()

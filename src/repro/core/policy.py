@@ -1,0 +1,124 @@
+"""The interactive-policy interface (the paper's "query policy").
+
+A policy plays the interactive game of Algorithm 1: it repeatedly proposes a
+query node, observes the boolean answer, and eventually reports the identified
+target.  The protocol is::
+
+    policy.reset(hierarchy, distribution, cost_model)
+    while not policy.done():
+        q = policy.propose()
+        policy.observe(oracle.answer(q))
+    target = policy.result()
+
+``propose`` is idempotent between observations (calling it twice without an
+intervening ``observe`` returns the same node), which lets drivers retry
+queries against flaky oracles without perturbing the policy.
+
+All policies in :mod:`repro.policies` are *deterministic* given their
+construction arguments, so their behaviour is fully described by a decision
+tree (:mod:`repro.core.decision_tree`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Hashable
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import PolicyError
+
+#: A zero-argument callable producing a fresh policy instance; evaluation
+#: helpers take factories so that each simulated search starts clean.
+PolicyFactory = Callable[[], "Policy"]
+
+
+class Policy(ABC):
+    """Base class for interactive graph-search policies."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "policy"
+
+    #: Whether the policy consults the target distribution.  Distribution-
+    #: oblivious baselines (TopDown, WIGS, MIGS) set this to False; the
+    #: experiment harness uses it to skip redundant re-evaluations.
+    uses_distribution: bool = True
+
+    def __init__(self) -> None:
+        self.hierarchy: Hierarchy | None = None
+        self.distribution: TargetDistribution | None = None
+        self.cost_model: QueryCostModel = UnitCost()
+        self._pending: Hashable | None = None
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        hierarchy: Hierarchy,
+        distribution: TargetDistribution | None = None,
+        cost_model: QueryCostModel | None = None,
+    ) -> None:
+        """Prepare for a fresh search on ``hierarchy``.
+
+        ``distribution`` defaults to the equal distribution for policies that
+        need one; oblivious baselines ignore it entirely.
+        """
+        self.hierarchy = hierarchy
+        if distribution is None and self.uses_distribution:
+            distribution = TargetDistribution.equal(hierarchy)
+        self.distribution = distribution
+        self.cost_model = cost_model or UnitCost()
+        self._pending = None
+        self._reset_state()
+
+    def propose(self) -> Hashable:
+        """The next query node (idempotent until the answer is observed)."""
+        self._require_reset()
+        if self.done():
+            raise PolicyError("search already finished; nothing to propose")
+        if self._pending is None:
+            self._pending = self._select_query()
+        return self._pending
+
+    def observe(self, answer: bool) -> None:
+        """Feed the oracle's boolean answer for the pending query."""
+        self._require_reset()
+        if self._pending is None:
+            raise PolicyError("observe() called before propose()")
+        query, self._pending = self._pending, None
+        self._apply_answer(query, bool(answer))
+
+    @abstractmethod
+    def done(self) -> bool:
+        """True once the target is unambiguously identified."""
+
+    @abstractmethod
+    def result(self) -> Hashable:
+        """The identified target node (valid once :meth:`done`)."""
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _reset_state(self) -> None:
+        """Rebuild internal state from ``self.hierarchy``/``self.distribution``."""
+
+    @abstractmethod
+    def _select_query(self) -> Hashable:
+        """Choose the next query node (Line 2 of Algorithm 1)."""
+
+    @abstractmethod
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        """Update internal state after ``reach(query) = answer``."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_reset(self) -> None:
+        if self.hierarchy is None:
+            raise PolicyError(f"{type(self).__name__}.reset() was never called")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,107 @@
+"""The interactive search driver — the paper's ``FrameworkIGS`` (Algorithm 1).
+
+:func:`run_search` plays a policy against an oracle until the target is
+identified, recording the transcript, the number of questions, and the total
+price under a query-cost model.  A query budget guards against
+non-terminating policies; a correct policy never needs more than one question
+per node (every question eliminates at least one candidate).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle, Oracle
+from repro.core.policy import Policy
+from repro.exceptions import BudgetExceededError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one interactive search."""
+
+    #: Node the policy reported as the target.
+    returned: Hashable
+    #: Number of questions asked.
+    num_queries: int
+    #: Total price under the session's cost model.
+    total_price: float
+    #: The full ``(query, answer)`` transcript, in order.
+    transcript: tuple[tuple[Hashable, bool], ...] = field(repr=False)
+
+    def queries(self) -> tuple[Hashable, ...]:
+        """Just the sequence of queried nodes."""
+        return tuple(q for q, _ in self.transcript)
+
+
+def run_search(
+    policy: Policy,
+    oracle: Oracle,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    max_queries: int | None = None,
+    reset: bool = True,
+) -> SearchResult:
+    """Drive ``policy`` against ``oracle`` until the target is identified.
+
+    Parameters
+    ----------
+    policy, oracle, hierarchy, distribution, cost_model:
+        The search configuration.  ``distribution`` is what the policy
+        *believes* about the target; the oracle holds the truth.
+    max_queries:
+        Query budget; defaults to ``2 * n + 10``.  Exceeding it raises
+        :class:`~repro.exceptions.BudgetExceededError` (a policy bug).
+    reset:
+        Pass ``False`` if the caller already reset the policy (e.g. to reuse
+        precomputed state).
+
+    Returns
+    -------
+    SearchResult
+        With the returned node, query count, price, and transcript.
+    """
+    model = cost_model or UnitCost()
+    if reset:
+        policy.reset(hierarchy, distribution, model)
+    budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
+    transcript: list[tuple[Hashable, bool]] = []
+    total_price = 0.0
+    while not policy.done():
+        if len(transcript) >= budget:
+            raise BudgetExceededError(
+                f"{type(policy).__name__} exceeded the query budget of "
+                f"{budget} questions"
+            )
+        query = policy.propose()
+        answer = bool(oracle.answer(query))
+        total_price += model.cost(query)
+        transcript.append((query, answer))
+        policy.observe(answer)
+    return SearchResult(
+        returned=policy.result(),
+        num_queries=len(transcript),
+        total_price=total_price,
+        transcript=tuple(transcript),
+    )
+
+
+def search_for_target(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    target: Hashable,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    **kwargs,
+) -> SearchResult:
+    """Convenience wrapper: search with a truthful oracle for ``target``."""
+    oracle = ExactOracle(hierarchy, target)
+    return run_search(
+        policy, oracle, hierarchy, distribution, cost_model, **kwargs
+    )

@@ -1,0 +1,30 @@
+"""Evaluation harness: expected costs, comparisons, bounds, timing."""
+
+from repro.evaluation.analysis import PolicyAnalysis, analyze
+from repro.evaluation.bounds import (
+    efficiency,
+    entropy_lower_bound,
+    worst_case_lower_bound,
+)
+from repro.evaluation.comparison import Comparison, compare_policies
+from repro.evaluation.expected_cost import (
+    EvaluationResult,
+    evaluate_expected_cost,
+    worst_case_cost,
+)
+from repro.evaluation.timing import DepthTiming, time_by_depth
+
+__all__ = [
+    "Comparison",
+    "DepthTiming",
+    "EvaluationResult",
+    "PolicyAnalysis",
+    "analyze",
+    "compare_policies",
+    "efficiency",
+    "entropy_lower_bound",
+    "evaluate_expected_cost",
+    "time_by_depth",
+    "worst_case_cost",
+    "worst_case_lower_bound",
+]

@@ -1,0 +1,40 @@
+"""Information-theoretic lower bounds on interactive search cost.
+
+Any correct policy's decision tree has one leaf per possible target and
+binary branching, so its expected depth is bounded below by the Shannon
+entropy of the target distribution (in bits) and its worst-case depth by
+``ceil(log2 n)``.  These bounds give experiments and tests an absolute
+yardstick that no policy — including the exponential optimum — can beat.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+
+
+def entropy_lower_bound(distribution: TargetDistribution) -> float:
+    """Shannon bound: expected #questions >= H(p) bits for any policy."""
+    return distribution.entropy()
+
+
+def worst_case_lower_bound(hierarchy: Hierarchy) -> int:
+    """Counting bound: some target needs >= ceil(log2 n) questions."""
+    return math.ceil(math.log2(hierarchy.n)) if hierarchy.n > 1 else 0
+
+
+def efficiency(
+    expected_cost: float, distribution: TargetDistribution
+) -> float:
+    """How close a measured expected cost is to the entropy bound, in (0, 1].
+
+    1.0 means the policy extracts a full bit of information per question on
+    average (only achievable when the hierarchy's structure permits balanced
+    splits all the way down).
+    """
+    bound = entropy_lower_bound(distribution)
+    if expected_cost <= 0:
+        return 1.0
+    return min(1.0, bound / expected_cost) if bound > 0 else 0.0

@@ -1,0 +1,79 @@
+"""Side-by-side policy comparisons (the rows of Tables III-V)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import QueryCostModel
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.policy import Policy
+from repro.evaluation.expected_cost import EvaluationResult, evaluate_expected_cost
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Expected costs of several policies under one configuration."""
+
+    hierarchy_name: str
+    distribution_name: str
+    results: tuple[EvaluationResult, ...]
+
+    def cost_of(self, policy_name: str) -> float:
+        for result in self.results:
+            if result.policy == policy_name:
+                return result.expected_queries
+        raise KeyError(policy_name)
+
+    def savings_of(self, policy_name: str, versus: str) -> float:
+        """Relative cost reduction of one policy versus another (in [0, 1])."""
+        baseline = self.cost_of(versus)
+        return (baseline - self.cost_of(policy_name)) / baseline
+
+    def as_row(self) -> dict:
+        row: dict = {"Distribution": self.distribution_name}
+        for result in self.results:
+            row[result.policy] = round(result.expected_queries, 2)
+        return row
+
+
+def compare_policies(
+    policies: Sequence[Policy],
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution,
+    *,
+    hierarchy_name: str = "hierarchy",
+    distribution_name: str = "distribution",
+    cost_model: QueryCostModel | None = None,
+    max_targets: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Comparison:
+    """Evaluate every policy under the same configuration.
+
+    When Monte-Carlo evaluation kicks in (large support and ``max_targets``
+    set), every policy is measured on the *same* sampled target set, so the
+    comparison stays paired.
+    """
+    targets = None
+    if max_targets is not None and len(distribution.support) > max_targets:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        targets = distribution.sample(rng, size=max_targets)
+    results = tuple(
+        evaluate_expected_cost(
+            policy,
+            hierarchy,
+            distribution,
+            cost_model=cost_model,
+            targets=targets,
+        )
+        for policy in policies
+    )
+    return Comparison(
+        hierarchy_name=hierarchy_name,
+        distribution_name=distribution_name,
+        results=results,
+    )

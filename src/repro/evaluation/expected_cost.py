@@ -1,0 +1,136 @@
+"""Expected-cost evaluation of policies.
+
+For a deterministic policy the expected cost (Equation 2) equals
+``sum_z p(z) * cost(z)`` over the support of the target distribution, so the
+exact value is obtained by simulating one search per positive-probability
+target.  When the support is large, :func:`evaluate_expected_cost` switches
+to an unbiased Monte-Carlo estimate (targets sampled from ``p``), which is
+how the scaled experiments keep DAG evaluation affordable.
+
+The policy *instance* is reused across targets (reset each time); policies
+cache their per-``(hierarchy, distribution)`` static precomputation across
+resets, which is what makes all-targets evaluation ``O(n)`` searches rather
+than ``O(n)`` full rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle
+from repro.core.policy import Policy
+from repro.core.session import run_search
+from repro.exceptions import SearchError
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Expected cost of one policy under one distribution."""
+
+    policy: str
+    expected_queries: float
+    expected_price: float
+    num_targets: int
+    #: "exact" (full support) or "monte-carlo"
+    method: str
+    per_target: dict[Hashable, int] | None = field(default=None, repr=False)
+
+
+def evaluate_expected_cost(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution,
+    *,
+    cost_model: QueryCostModel | None = None,
+    max_targets: int | None = None,
+    rng: np.random.Generator | None = None,
+    targets: list[Hashable] | None = None,
+    keep_per_target: bool = False,
+    check_correctness: bool = True,
+) -> EvaluationResult:
+    """Exact or Monte-Carlo expected cost of ``policy``.
+
+    Parameters
+    ----------
+    max_targets:
+        When the distribution's support exceeds this, switch to Monte-Carlo
+        with ``max_targets`` sampled targets (requires ``rng``).  ``None``
+        (default) forces the exact all-support evaluation.
+    targets:
+        Explicit Monte-Carlo target sample (already drawn from ``p``); used
+        by :func:`repro.evaluation.comparison.compare_policies` so that every
+        policy faces the same sample.
+    check_correctness:
+        Assert the policy returns the true target on every simulated search.
+    """
+    model = cost_model or UnitCost()
+    support = sorted(distribution.support, key=str)
+    if not support:
+        raise SearchError("distribution has empty support")
+
+    if targets is not None:
+        method = "monte-carlo"
+        weights = None
+    elif max_targets is not None and len(support) > max_targets:
+        if rng is None:
+            raise SearchError("Monte-Carlo evaluation needs an rng")
+        targets = distribution.sample(rng, size=max_targets)
+        method = "monte-carlo"
+        weights = None
+    else:
+        targets = support
+        method = "exact"
+        weights = [distribution.p(z) for z in support]
+
+    total_queries = 0.0
+    total_price = 0.0
+    count = 0
+    per_target: dict[Hashable, int] | None = {} if keep_per_target else None
+    for pos, target in enumerate(targets):
+        oracle = ExactOracle(hierarchy, target)
+        result = run_search(policy, oracle, hierarchy, distribution, model)
+        if check_correctness and result.returned != target:
+            raise SearchError(
+                f"{policy.name} returned {result.returned!r} "
+                f"for target {target!r}"
+            )
+        w = weights[pos] if weights is not None else 1.0
+        total_queries += w * result.num_queries
+        total_price += w * result.total_price
+        count += 1
+        if per_target is not None:
+            per_target[target] = result.num_queries
+    if weights is None:
+        total_queries /= count
+        total_price /= count
+    return EvaluationResult(
+        policy=policy.name,
+        expected_queries=total_queries,
+        expected_price=total_price,
+        num_targets=count,
+        method=method,
+        per_target=per_target,
+    )
+
+
+def worst_case_cost(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    *,
+    targets: Iterable[Hashable] | None = None,
+) -> int:
+    """Maximum query count over the given targets (default: all nodes)."""
+    worst = 0
+    for target in targets if targets is not None else hierarchy.nodes:
+        oracle = ExactOracle(hierarchy, target)
+        result = run_search(policy, oracle, hierarchy, distribution)
+        if result.num_queries > worst:
+            worst = result.num_queries
+    return worst

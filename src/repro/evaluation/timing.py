@@ -1,0 +1,68 @@
+"""Per-search running-time measurements (paper Fig. 6).
+
+The paper samples 1,000 targets at each depth of the hierarchy and reports
+the average wall-clock time per search, contrasting ``GreedyNaive`` with the
+efficient instantiations.  :func:`time_by_depth` reproduces that protocol at
+a configurable sample count.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle
+from repro.core.policy import Policy
+from repro.core.session import run_search
+
+
+@dataclass(frozen=True)
+class DepthTiming:
+    """Average per-search time (milliseconds) at each target depth."""
+
+    policy: str
+    #: depth -> mean milliseconds per search
+    mean_ms: dict[int, float]
+    per_depth_samples: int
+
+    def as_series(self) -> list[tuple[int, float]]:
+        return sorted(self.mean_ms.items())
+
+
+def time_by_depth(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution,
+    rng: np.random.Generator,
+    *,
+    per_depth: int = 5,
+    clock=time.perf_counter,
+) -> DepthTiming:
+    """Average search time against targets sampled per depth.
+
+    Targets are drawn with replacement from the nodes at each depth (the
+    paper does the same; at depth 0 the root is measured repeatedly).
+    """
+    by_depth: dict[int, list] = defaultdict(list)
+    for node in hierarchy.nodes:
+        by_depth[hierarchy.depth(node)].append(node)
+    means: dict[int, float] = {}
+    for depth in sorted(by_depth):
+        nodes = by_depth[depth]
+        picks = rng.integers(0, len(nodes), size=per_depth)
+        elapsed = 0.0
+        for pick in picks:
+            target = nodes[int(pick)]
+            oracle = ExactOracle(hierarchy, target)
+            start = clock()
+            run_search(policy, oracle, hierarchy, distribution)
+            elapsed += clock() - start
+        means[depth] = 1000.0 * elapsed / per_depth
+    return DepthTiming(
+        policy=policy.name, mean_ms=means, per_depth_samples=per_depth
+    )

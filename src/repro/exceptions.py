@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class.  Input-validation
+failures use the more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class HierarchyError(ReproError):
+    """The input graph is not a valid single-rooted DAG hierarchy."""
+
+
+class CycleError(HierarchyError):
+    """The input graph contains a directed cycle.
+
+    Attributes
+    ----------
+    cycle:
+        A list of node labels forming (part of) the offending cycle, when the
+        validator could recover one; otherwise an empty list.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle else []
+
+
+class DistributionError(ReproError):
+    """A target-probability distribution failed validation."""
+
+
+class CostModelError(ReproError):
+    """A query-cost model failed validation (e.g. non-positive price)."""
+
+
+class OracleError(ReproError):
+    """An oracle was asked something it cannot answer (e.g. unknown node)."""
+
+
+class PolicyError(ReproError):
+    """A policy was driven through an invalid protocol sequence."""
+
+
+class SearchError(ReproError):
+    """An interactive search could not be completed."""
+
+
+class BudgetExceededError(SearchError):
+    """The search exceeded its query budget before identifying the target.
+
+    This guards against non-terminating policies; a correct policy on a valid
+    hierarchy never triggers it with the default budget.
+    """

@@ -1,0 +1,57 @@
+"""Reproduction experiments, one module per paper table/figure.
+
+``EXPERIMENTS`` maps experiment ids to their ``main(scale, seed)`` entry
+points; the CLI and the benchmark suite both dispatch through it.
+"""
+
+from repro.experiments import (
+    ablation,
+    example2,
+    fig4,
+    fig5,
+    fig6,
+    noise,
+    scaling,
+    table2,
+    table3,
+    table45,
+)
+from repro.experiments.datasets import Dataset, build_datasets
+from repro.experiments.reporting import Series, Table
+from repro.experiments.scale import PAPER, SMALL, TINY, Scale, get_scale, scaled
+
+EXPERIMENTS = {
+    "table2": table2.main,
+    "table3": table3.main,
+    "table4": lambda scale=SMALL, seed=0: _table45(scale, seed, "Amazon"),
+    "table5": lambda scale=SMALL, seed=0: _table45(scale, seed, "ImageNet"),
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "example2": example2.main,
+    "ablation": ablation.main,
+    "noise": noise.main,
+    "scaling": scaling.main,
+}
+
+
+def _table45(scale, seed, dataset_name):
+    tables = table45.run(scale, seed, dataset_name=dataset_name)
+    output = "\n\n".join(t.render() for t in tables)
+    print(output)
+    return output
+
+
+__all__ = [
+    "Dataset",
+    "EXPERIMENTS",
+    "PAPER",
+    "SMALL",
+    "Scale",
+    "Series",
+    "TINY",
+    "Table",
+    "build_datasets",
+    "get_scale",
+    "scaled",
+]

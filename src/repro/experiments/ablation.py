@@ -1,0 +1,148 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Not paper artifacts, but each probes one design decision of the paper's
+algorithms on the reproduction datasets:
+
+* ``rounding``  — Equation (1) on/off for GreedyDAG (Theorem 1's guarantee
+  needs it; how much does it change measured cost?);
+* ``heap``      — footnote 3's max-heap child index versus the plain scan in
+  GreedyTree (identical decisions, different constant factors);
+* ``batch``     — Section III-E's k-questions-per-round scheme: rounds
+  versus total questions as k grows;
+* ``caigs``     — cost-sensitive versus plain greedy under random prices
+  (Section III-D beyond the worked Example 4).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.costs import random_costs
+from repro.evaluation.expected_cost import evaluate_expected_cost
+from repro.experiments.datasets import build_datasets
+from repro.experiments.reporting import Table
+from repro.experiments.scale import SMALL, Scale
+from repro.policies import (
+    CostSensitiveGreedyPolicy,
+    GreedyDagPolicy,
+    GreedyNaivePolicy,
+    GreedyTreePolicy,
+    batched_search_for_target,
+)
+
+
+def run_rounding(scale: Scale = SMALL, seed: int = 0) -> Table:
+    """Rounded versus raw weights for GreedyDAG on the ImageNet stand-in."""
+    _, imagenet = build_datasets(scale, seed)
+    dist = imagenet.real_distribution
+    rng = np.random.default_rng([seed, 70])
+    table = Table(
+        f"Ablation: Equation-(1) rounding in GreedyDAG (scale={scale.name})",
+        ("Variant", "Expected cost"),
+    )
+    for policy in (GreedyDagPolicy(rounded=True), GreedyDagPolicy(rounded=False)):
+        cost = evaluate_expected_cost(
+            policy, imagenet.hierarchy, dist,
+            max_targets=scale.max_targets, rng=rng,
+        ).expected_queries
+        table.add_row({"Variant": policy.name, "Expected cost": cost})
+    return table
+
+
+def run_heap(scale: Scale = SMALL, seed: int = 0) -> Table:
+    """Footnote 3: heap versus scan child selection (same cost, timing)."""
+    amazon, _ = build_datasets(scale, seed)
+    dist = amazon.real_distribution
+    table = Table(
+        f"Ablation: heap vs scan child selection in GreedyTree (scale={scale.name})",
+        ("Variant", "Expected cost", "Wall time (s)"),
+    )
+    for policy in (
+        GreedyTreePolicy(heap_children=False),
+        GreedyTreePolicy(heap_children=True),
+    ):
+        rng = np.random.default_rng([seed, 71])
+        start = time.perf_counter()
+        cost = evaluate_expected_cost(
+            policy, amazon.hierarchy, dist,
+            max_targets=scale.max_targets, rng=rng,
+        ).expected_queries
+        elapsed = time.perf_counter() - start
+        name = "heap" if policy.heap_children else "scan"
+        table.add_row(
+            {"Variant": name, "Expected cost": cost, "Wall time (s)": elapsed}
+        )
+    return table
+
+
+def run_batch(scale: Scale = SMALL, seed: int = 0) -> Table:
+    """Section III-E: rounds versus questions as the batch size k grows."""
+    amazon, _ = build_datasets(scale, seed)
+    hierarchy, dist = amazon.hierarchy, amazon.real_distribution
+    rng = np.random.default_rng([seed, 72])
+    sample_size = min(scale.max_targets or 200, 200)
+    targets = dist.sample(rng, size=sample_size)
+    table = Table(
+        f"Ablation: batched AIGS on the Amazon tree (scale={scale.name}, "
+        f"{sample_size} sampled targets)",
+        ("k", "Avg rounds", "Avg questions"),
+    )
+    for k in (1, 2, 4, 8):
+        rounds = 0
+        questions = 0
+        for target in targets:
+            result = batched_search_for_target(hierarchy, target, dist, k=k)
+            assert result.returned == target
+            rounds += result.num_rounds
+            questions += result.num_questions
+        table.add_row(
+            {
+                "k": k,
+                "Avg rounds": rounds / sample_size,
+                "Avg questions": questions / sample_size,
+            }
+        )
+    return table
+
+
+def run_caigs(scale: Scale = SMALL, seed: int = 0) -> Table:
+    """Cost-sensitive vs plain greedy under random prices (Section III-D).
+
+    Runs on a trimmed hierarchy: the cost-sensitive policy is the paper's
+    O(n m)-per-round naive instantiation.
+    """
+    from repro.taxonomy import amazon_catalog, amazon_like
+
+    n = min(scale.amazon_nodes, 400)
+    hierarchy = amazon_like(n, seed=seed + 7)
+    dist = amazon_catalog(hierarchy, seed=seed + 7, num_objects=50 * n).to_distribution()
+    rng = np.random.default_rng([seed, 73])
+    prices = random_costs(hierarchy, rng, low=0.5, high=1.5)
+    table = Table(
+        f"Ablation: CAIGS with random prices in [0.5, 1.5] (n={n})",
+        ("Policy", "Expected price"),
+    )
+    for policy in (GreedyNaivePolicy(), CostSensitiveGreedyPolicy()):
+        price = evaluate_expected_cost(
+            policy, hierarchy, dist, cost_model=prices,
+            max_targets=200, rng=rng,
+        ).expected_price
+        table.add_row({"Policy": policy.name, "Expected price": price})
+    return table
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> list[Table]:
+    return [
+        run_rounding(scale, seed),
+        run_heap(scale, seed),
+        run_batch(scale, seed),
+        run_caigs(scale, seed),
+    ]
+
+
+def main(scale: Scale = SMALL, seed: int = 0) -> str:
+    output = "\n\n".join(t.render() for t in run(scale, seed))
+    print(output)
+    return output

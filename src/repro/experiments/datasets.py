@@ -1,0 +1,72 @@
+"""Experiment datasets: the two synthetic stand-ins at a given scale.
+
+Construction is memoised per ``(scale, seed)`` because every experiment
+module reuses the same pair of hierarchies and catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.experiments.scale import Scale
+from repro.taxonomy import (
+    Catalog,
+    amazon_catalog,
+    amazon_like,
+    imagenet_catalog,
+    imagenet_like,
+)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One evaluation dataset: hierarchy + object catalog."""
+
+    name: str
+    hierarchy: Hierarchy
+    catalog: Catalog
+
+    @property
+    def real_distribution(self) -> TargetDistribution:
+        """The paper's "real data distribution": catalog counts."""
+        return _real_distribution(self)
+
+
+@lru_cache(maxsize=8)
+def _real_distribution(dataset: Dataset) -> TargetDistribution:
+    return dataset.catalog.to_distribution()
+
+
+@lru_cache(maxsize=8)
+def _build(scale_name: str, amazon_nodes: int, imagenet_nodes: int,
+           num_objects: int, seed: int) -> tuple[Dataset, Dataset]:
+    amazon_h = amazon_like(amazon_nodes, seed=seed + 7)
+    imagenet_h = imagenet_like(imagenet_nodes, seed=seed + 11)
+    return (
+        Dataset(
+            "Amazon",
+            amazon_h,
+            amazon_catalog(amazon_h, seed=seed + 7, num_objects=num_objects),
+        ),
+        Dataset(
+            "ImageNet",
+            imagenet_h,
+            imagenet_catalog(
+                imagenet_h, seed=seed + 11, num_objects=num_objects
+            ),
+        ),
+    )
+
+
+def build_datasets(scale: Scale, seed: int = 0) -> tuple[Dataset, Dataset]:
+    """The (Amazon-like, ImageNet-like) pair for a scale preset."""
+    return _build(
+        scale.name,
+        scale.amazon_nodes,
+        scale.imagenet_nodes,
+        scale.num_objects,
+        seed,
+    )

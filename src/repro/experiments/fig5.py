@@ -1,0 +1,70 @@
+"""Experiment ``fig5`` — cost versus Zipf skew (Fig. 5).
+
+Sweeps the Zipf parameter ``a``: smaller ``a`` means a more skewed target
+distribution.  The paper's finding: the greedy cost grows with ``a`` and
+approaches the equal-probability cost from below, because skew is exactly
+what the probability-aware greedy exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import TargetDistribution
+from repro.evaluation.expected_cost import evaluate_expected_cost
+from repro.experiments.datasets import Dataset, build_datasets
+from repro.experiments.reporting import Series
+from repro.experiments.scale import SMALL, Scale
+from repro.policies import GreedyDagPolicy, GreedyTreePolicy
+
+
+def run_dataset(dataset: Dataset, scale: Scale, seed: int = 0) -> Series:
+    """One Fig. 5 panel."""
+    hierarchy = dataset.hierarchy
+    greedy = GreedyTreePolicy() if hierarchy.is_tree else GreedyDagPolicy()
+
+    costs = []
+    for a in scale.zipf_parameters:
+        total = 0.0
+        for trial in range(scale.trials):
+            rng = np.random.default_rng([seed, 50, trial, int(a * 10)])
+            distribution = TargetDistribution.random_zipf(hierarchy, rng, a=a)
+            total += evaluate_expected_cost(
+                greedy,
+                hierarchy,
+                distribution,
+                max_targets=scale.max_targets,
+                rng=rng,
+            ).expected_queries
+        costs.append(total / scale.trials)
+
+    equal_rng = np.random.default_rng([seed, 51])
+    equal_cost = evaluate_expected_cost(
+        greedy,
+        hierarchy,
+        TargetDistribution.equal(hierarchy),
+        max_targets=scale.max_targets,
+        rng=equal_rng,
+    ).expected_queries
+
+    series = Series(
+        title=(
+            f"Fig. 5 — cost vs Zipf parameter on {dataset.name} "
+            f"(scale={scale.name}, {scale.trials} trials)"
+        ),
+        x_label="a",
+        x_values=list(scale.zipf_parameters),
+    )
+    series.add_line(greedy.name, costs)
+    series.add_line("Equal Pr.", [equal_cost] * len(costs))
+    return series
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> list[Series]:
+    return [run_dataset(d, scale, seed) for d in build_datasets(scale, seed)]
+
+
+def main(scale: Scale = SMALL, seed: int = 0) -> str:
+    output = "\n\n".join(s.render() for s in run(scale, seed))
+    print(output)
+    return output

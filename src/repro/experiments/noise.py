@@ -1,0 +1,126 @@
+"""Experiment ``noise`` — crowd noise and its mitigations (paper Section VII).
+
+Not a paper artifact: the paper *motivates* noise handling as future work.
+This experiment quantifies the starting point on the reproduction datasets —
+labelling accuracy and query spend of the greedy policy under transient and
+persistent crowd noise, with per-question majority voting and per-search
+repetition as mitigations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.oracle import ExactOracle, MajorityVoteOracle, NoisyOracle
+from repro.core.session import run_search
+from repro.exceptions import SearchError
+from repro.experiments.datasets import build_datasets
+from repro.experiments.reporting import Table
+from repro.experiments.scale import SMALL, Scale
+from repro.policies import greedy_for, repeated_search_majority
+
+
+def _measure(policy, hierarchy, distribution, targets, make_oracle):
+    """(accuracy, average questions) over the sampled targets."""
+    correct = 0
+    questions = 0
+    for target in targets:
+        oracle = make_oracle(target)
+        try:
+            result = run_search(
+                policy, oracle, hierarchy, distribution,
+                max_queries=4 * hierarchy.n,
+            )
+        except SearchError:
+            continue
+        correct += result.returned == target
+        questions += result.num_queries
+    return correct / len(targets), questions / len(targets)
+
+
+def _measure_repeated(policy, hierarchy, distribution, targets, make_oracle,
+                      repeats):
+    correct = 0
+    questions = 0
+    for target in targets:
+        try:
+            label, spent = repeated_search_majority(
+                policy,
+                lambda: make_oracle(target),
+                hierarchy,
+                distribution,
+                repeats=repeats,
+                max_queries_per_run=4 * hierarchy.n,
+            )
+        except SearchError:
+            continue
+        correct += label == target
+        questions += spent
+    return correct / len(targets), questions / len(targets)
+
+
+def run(scale: Scale = SMALL, seed: int = 0, *, error_rate: float = 0.1) -> Table:
+    amazon, _ = build_datasets(scale, seed)
+    hierarchy = amazon.hierarchy
+    distribution = amazon.real_distribution
+    policy = greedy_for(hierarchy)
+    rng = np.random.default_rng([seed, 80])
+    sample_size = min(scale.max_targets or 150, 150)
+    targets = distribution.sample(rng, size=sample_size)
+
+    def noisy(target, *, persistent=False):
+        return NoisyOracle(
+            ExactOracle(hierarchy, target),
+            error_rate,
+            np.random.default_rng(int(rng.integers(2**32))),
+            persistent=persistent,
+        )
+
+    table = Table(
+        f"Noise study — greedy on {amazon.name}, error rate {error_rate:.0%} "
+        f"(scale={scale.name}, {sample_size} targets)",
+        ("Strategy", "Accuracy", "Avg questions"),
+    )
+    rows = [
+        ("clean oracle", lambda t: ExactOracle(hierarchy, t), None),
+        ("transient noise", noisy, None),
+        (
+            "transient + 5-vote majority",
+            lambda t: MajorityVoteOracle(noisy(t), votes=5),
+            None,
+        ),
+        ("transient + 3 repeated searches", noisy, 3),
+        (
+            "persistent noise",
+            lambda t: noisy(t, persistent=True),
+            None,
+        ),
+        (
+            "persistent + 3 repeated searches",
+            lambda t: noisy(t, persistent=True),
+            3,
+        ),
+    ]
+    for name, make_oracle, repeats in rows:
+        if repeats is None:
+            accuracy, cost = _measure(
+                policy, hierarchy, distribution, targets, make_oracle
+            )
+        else:
+            accuracy, cost = _measure_repeated(
+                policy, hierarchy, distribution, targets, make_oracle, repeats
+            )
+        table.add_row(
+            {
+                "Strategy": name,
+                "Accuracy": f"{accuracy:.1%}",
+                "Avg questions": cost,
+            }
+        )
+    return table
+
+
+def main(scale: Scale = SMALL, seed: int = 0) -> str:
+    output = run(scale, seed).render()
+    print(output)
+    return output

@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment outputs (tables and figure series).
+
+The benchmarks and the CLI print the same rows/series the paper reports;
+these helpers keep that rendering uniform and machine-greppable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table of uniform rows (one per paper-table row)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Mapping] = field(default_factory=list)
+
+    def add_row(self, row: Mapping) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[str(c) for c in self.columns]]
+        for row in self.rows:
+            cells.append([_fmt(row.get(c, "")) for c in self.columns])
+        widths = [
+            max(len(line[i]) for line in cells) for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append(sep)
+        for line in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        head = "| " + " | ".join(map(str, self.columns)) + " |"
+        rule = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = [
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in self.columns) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([head, rule, *body])
+
+
+@dataclass
+class Series:
+    """A titled x/y multi-line series (one per paper figure)."""
+
+    title: str
+    x_label: str
+    x_values: Sequence
+    #: line name -> y values aligned with ``x_values``
+    lines: dict[str, Sequence[float]] = field(default_factory=dict)
+
+    def add_line(self, name: str, values: Sequence[float]) -> None:
+        self.lines[name] = list(values)
+
+    def render(self) -> str:
+        columns = [self.x_label, *self.lines.keys()]
+        table = Table(self.title, columns)
+        for i, x in enumerate(self.x_values):
+            row = {self.x_label: x}
+            for name, values in self.lines.items():
+                row[name] = values[i] if i < len(values) else ""
+            table.add_row(row)
+        return table.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) >= 0.01 or value == 0 else f"{value:.4g}"
+    return str(value)

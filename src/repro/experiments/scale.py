@@ -1,0 +1,114 @@
+"""Scale presets for the reproduction experiments.
+
+The paper runs on 29k-node hierarchies with 13M-object corpora; a pure-Python
+reproduction sweeps the same protocol at configurable scale.  ``TINY`` keeps
+CI fast, ``SMALL`` (the default) runs the full suite in minutes on a laptop,
+``PAPER`` matches Table II's node counts (slow; hours).
+
+The relative findings (who wins, by what factor, where the curves bend) are
+scale-stable; ``EXPERIMENTS.md`` records the measured numbers per scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size knobs of the experiment suite."""
+
+    name: str
+    #: Node counts of the synthetic stand-ins.
+    amazon_nodes: int
+    imagenet_nodes: int
+    #: Corpus size behind the "real data distribution".
+    num_objects: int
+    #: Fig. 4: length of the labelling stream, block size, and traces.
+    online_objects: int
+    online_block: int
+    online_traces: int
+    #: Re-snapshot cadence of the online learner (1 = paper protocol).
+    online_refresh: int
+    #: Tables IV/V: trials per synthetic distribution.
+    trials: int
+    #: Monte-Carlo target cap for expensive evaluations (None = exact).
+    max_targets: int | None
+    #: Fig. 5: Zipf parameters swept.
+    zipf_parameters: tuple[float, ...]
+    #: Fig. 6: hierarchy size for the naive-vs-efficient timing and samples
+    #: per depth (the naive algorithm is O(n^2 m); keep this modest).
+    fig6_nodes: int
+    fig6_per_depth: int
+
+    def __post_init__(self) -> None:
+        if min(self.amazon_nodes, self.imagenet_nodes, self.fig6_nodes) < 8:
+            raise ReproError("scales below 8 nodes are not meaningful")
+
+
+TINY = Scale(
+    name="tiny",
+    amazon_nodes=150,
+    imagenet_nodes=130,
+    num_objects=20_000,
+    online_objects=1_500,
+    online_block=250,
+    online_traces=2,
+    online_refresh=5,
+    trials=2,
+    max_targets=None,
+    zipf_parameters=(1.5, 2.0, 3.0, 4.0),
+    fig6_nodes=100,
+    fig6_per_depth=2,
+)
+
+SMALL = Scale(
+    name="small",
+    amazon_nodes=2_000,
+    imagenet_nodes=1_600,
+    num_objects=200_000,
+    online_objects=12_000,
+    online_block=1_500,
+    online_traces=3,
+    online_refresh=10,
+    trials=3,
+    max_targets=500,
+    zipf_parameters=(1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    fig6_nodes=400,
+    fig6_per_depth=3,
+)
+
+PAPER = Scale(
+    name="paper",
+    amazon_nodes=29_240,
+    imagenet_nodes=27_714,
+    num_objects=2_000_000,
+    online_objects=100_000,
+    online_block=10_000,
+    online_traces=20,
+    online_refresh=100,
+    trials=20,
+    max_targets=1_000,
+    zipf_parameters=(1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    fig6_nodes=1_000,
+    fig6_per_depth=10,
+)
+
+_SCALES = {s.name: s for s in (TINY, SMALL, PAPER)}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a preset by name."""
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scale {name!r}; available: {sorted(_SCALES)}"
+        ) from None
+
+
+def scaled(base: Scale, **overrides) -> Scale:
+    """A copy of ``base`` with individual knobs overridden."""
+    return replace(base, **overrides)

@@ -1,0 +1,40 @@
+"""Experiment ``table2`` — dataset statistics (paper Table II)."""
+
+from __future__ import annotations
+
+from repro.experiments.datasets import build_datasets
+from repro.experiments.reporting import Table
+from repro.experiments.scale import SMALL, Scale
+from repro.taxonomy.amazon import REAL_STATS as AMAZON_REAL
+from repro.taxonomy.imagenet import REAL_STATS as IMAGENET_REAL
+from repro.taxonomy.stats import TaxonomyStats
+
+COLUMNS = ("Dataset", "#nodes", "Height", "Max Deg.", "Type", "#objects")
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Table:
+    """Statistics of the synthetic stand-ins, next to the paper's values."""
+    amazon, imagenet = build_datasets(scale, seed)
+    table = Table(
+        f"Table II — dataset statistics (scale={scale.name})", COLUMNS
+    )
+    for dataset, real in ((amazon, AMAZON_REAL), (imagenet, IMAGENET_REAL)):
+        stats = TaxonomyStats.of(dataset.name, dataset.hierarchy, dataset.catalog)
+        table.add_row(stats.as_row())
+        table.add_row(
+            {
+                "Dataset": f"  (paper: {dataset.name})",
+                "#nodes": real["nodes"],
+                "Height": real["height"],
+                "Max Deg.": real["max_out_degree"],
+                "Type": real["type"],
+                "#objects": real["objects"],
+            }
+        )
+    return table
+
+
+def main(scale: Scale = SMALL, seed: int = 0) -> str:
+    output = run(scale, seed).render()
+    print(output)
+    return output

@@ -1,0 +1,88 @@
+"""Interactive console categorisation — the paper's use case as a tool.
+
+`console_search` drives any policy with a *human* oracle: it prints each
+reachability question and reads a yes/no answer, exactly the workflow a
+crowdsourcing worker performs.  The CLI exposes it as::
+
+    python -m repro interactive --edges hierarchy.tsv
+
+Input and output callables are injectable, so the loop is fully testable
+with scripted answers (see ``tests/test_interactive.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.policy import Policy
+from repro.core.session import SearchResult
+from repro.exceptions import SearchError
+
+_YES = {"y", "yes", "1", "true"}
+_NO = {"n", "no", "0", "false"}
+
+
+def parse_answer(text: str) -> bool:
+    """Parse a human yes/no answer (raises on anything else)."""
+    token = text.strip().lower()
+    if token in _YES:
+        return True
+    if token in _NO:
+        return False
+    raise SearchError(f"could not parse answer {text!r}; expected yes/no")
+
+
+def console_search(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    input_fn: Callable[[str], str] | None = None,
+    print_fn: Callable[[str], None] = print,
+    max_queries: int | None = None,
+) -> SearchResult:
+    """Categorise one object by asking a human the policy's questions.
+
+    Unparseable answers are re-asked (they do not count as questions); the
+    query budget still bounds the total number of *answered* questions.
+    """
+    if input_fn is None:
+        input_fn = input  # resolved at call time so tests can patch builtins
+    model = cost_model or UnitCost()
+    policy.reset(hierarchy, distribution, model)
+    budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
+    transcript: list[tuple[Hashable, bool]] = []
+    total_price = 0.0
+    print_fn(
+        f"Categorising against {hierarchy.n} categories "
+        f"(root: {hierarchy.root!r}). Answer yes/no."
+    )
+    while not policy.done():
+        if len(transcript) >= budget:
+            raise SearchError(f"exceeded the budget of {budget} questions")
+        query = policy.propose()
+        while True:
+            raw = input_fn(f"[{len(transcript) + 1}] is it a {query!r}? ")
+            try:
+                answer = parse_answer(raw)
+                break
+            except SearchError:
+                print_fn("  please answer yes or no")
+        transcript.append((query, answer))
+        total_price += model.cost(query)
+        policy.observe(answer)
+    result = SearchResult(
+        returned=policy.result(),
+        num_queries=len(transcript),
+        total_price=total_price,
+        transcript=tuple(transcript),
+    )
+    print_fn(
+        f"=> category: {result.returned!r} "
+        f"({result.num_queries} questions, ${result.total_price:.2f})"
+    )
+    return result

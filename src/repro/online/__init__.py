@@ -1,0 +1,15 @@
+"""Online distribution learning and labelling simulation (Fig. 4)."""
+
+from repro.online.learner import EmpiricalLearner
+from repro.online.simulate import (
+    OnlineRunResult,
+    average_runs,
+    simulate_online_labeling,
+)
+
+__all__ = [
+    "EmpiricalLearner",
+    "OnlineRunResult",
+    "average_runs",
+    "simulate_online_labeling",
+]

@@ -1,0 +1,54 @@
+"""Online empirical learning of the target distribution (Fig. 4 protocol).
+
+The paper's remedy for an unknown data distribution: "when we label the i-th
+object, we use the statistics of the first (i-1) labeled objects as the input
+probability distribution.  At the very beginning, ... all categories occur
+with an equal probability."  :class:`EmpiricalLearner` implements exactly
+that — per-category counts with a Laplace pseudo-count that makes the empty
+state uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import DistributionError
+
+
+class EmpiricalLearner:
+    """Running per-category counts -> smoothed empirical distribution."""
+
+    def __init__(self, hierarchy: Hierarchy, *, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise DistributionError(
+                "smoothing must be positive so the initial distribution "
+                "is the paper's uniform prior"
+            )
+        self.hierarchy = hierarchy
+        self.smoothing = float(smoothing)
+        self._counts: dict[Hashable, int] = {}
+        self.num_observed = 0
+
+    def observe(self, category: Hashable) -> None:
+        """Record one labelled object."""
+        if category not in self.hierarchy:
+            raise DistributionError(
+                f"observed category {category!r} is not a hierarchy node"
+            )
+        self._counts[category] = self._counts.get(category, 0) + 1
+        self.num_observed += 1
+
+    def count(self, category: Hashable) -> int:
+        return self._counts.get(category, 0)
+
+    def snapshot(self) -> TargetDistribution:
+        """The current smoothed empirical distribution.
+
+        With zero observations this is exactly uniform; as counts accumulate
+        it converges to the true distribution.
+        """
+        return TargetDistribution.from_counts(
+            self._counts, hierarchy=self.hierarchy, smoothing=self.smoothing
+        )

@@ -1,0 +1,200 @@
+"""Batched AIGS on trees — the Section III-E extension.
+
+The paper's discussion: interactions with the crowd have latency, so asking
+``k`` questions *per round* reduces rounds; "for AIGS on a tree, we can ask a
+batch of k questions simultaneously leveraging the k-partition scheme [26]",
+while the DAG case is left open.  This module implements exactly that tree
+scheme:
+
+Every round, the k batch questions are placed on the *weighted heavy path*
+(where Theorem 5 guarantees all the splitting power lives) at the nodes whose
+subtree weights are closest to the quantile thresholds ``j * W / (k+1)``.
+Because heavy-path subtrees are nested, the k boolean answers always form a
+yes-prefix / no-suffix pattern, which identifies one of ``k+1`` weight slabs:
+the new root is the deepest yes node and the shallowest no subtree is pruned.
+
+With ``k = 1`` this degenerates to (a variant of) the sequential greedy
+policy; larger ``k`` trades total questions for rounds, cutting the number of
+interactions roughly by a factor of ``log2(k+1)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle, Oracle
+from repro.exceptions import HierarchyError, SearchError
+
+
+@dataclass(frozen=True)
+class BatchedSearchResult:
+    """Outcome of one batched interactive search."""
+
+    returned: Hashable
+    #: Number of interaction rounds (the latency measure batching improves).
+    num_rounds: int
+    #: Total questions asked (the payment measure, >= rounds).
+    num_questions: int
+    #: Per-round transcripts: tuples of (query, answer).
+    rounds: tuple[tuple[tuple[Hashable, bool], ...], ...]
+
+
+def run_batched_search(
+    hierarchy: Hierarchy,
+    oracle: Oracle,
+    distribution: TargetDistribution | None = None,
+    *,
+    k: int = 3,
+    max_rounds: int | None = None,
+) -> BatchedSearchResult:
+    """Identify the target with up to ``k`` questions per round (trees only).
+
+    Raises :class:`HierarchyError` on DAG inputs — the paper leaves batched
+    DAG search open, and this library does not pretend otherwise.
+    """
+    if not hierarchy.is_tree:
+        raise HierarchyError(
+            "batched AIGS is defined on trees (the DAG case is an open "
+            "problem; see Section III-E of the paper)"
+        )
+    if k < 1:
+        raise SearchError(f"batch size must be >= 1, got {k}")
+    if distribution is None:
+        distribution = TargetDistribution.equal(hierarchy)
+    probs = distribution.as_array(hierarchy)
+
+    n = hierarchy.n
+    alive = bytearray([1] * n)
+    root = hierarchy.root_ix
+    budget = max_rounds if max_rounds is not None else n + 10
+    rounds: list[tuple[tuple[Hashable, bool], ...]] = []
+    total_questions = 0
+
+    while True:
+        weights, sizes = _alive_subtree_stats(hierarchy, alive, probs)
+        if sizes[root] <= 1:
+            break
+        if len(rounds) >= budget:
+            raise SearchError(
+                f"batched search exceeded {budget} rounds (policy bug)"
+            )
+        batch = _select_batch(hierarchy, alive, weights, sizes, root, k)
+        answers = [
+            (q, bool(oracle.answer(hierarchy.label(q)))) for q in batch
+        ]
+        total_questions += len(answers)
+        rounds.append(
+            tuple((hierarchy.label(q), a) for q, a in answers)
+        )
+        # Nested subtrees: answers form a yes-prefix / no-suffix pattern.
+        deepest_yes = root
+        shallowest_no: int | None = None
+        for q, answer in answers:  # batch is ordered root-to-leaf
+            if answer:
+                deepest_yes = q
+            else:
+                shallowest_no = q
+                break
+        root = deepest_yes
+        if shallowest_no is not None:
+            _remove_subtree(hierarchy, alive, shallowest_no)
+
+    return BatchedSearchResult(
+        returned=hierarchy.label(root),
+        num_rounds=len(rounds),
+        num_questions=total_questions,
+        rounds=tuple(rounds),
+    )
+
+
+def batched_search_for_target(
+    hierarchy: Hierarchy,
+    target: Hashable,
+    distribution: TargetDistribution | None = None,
+    *,
+    k: int = 3,
+) -> BatchedSearchResult:
+    """Convenience wrapper with a truthful oracle."""
+    return run_batched_search(
+        hierarchy, ExactOracle(hierarchy, target), distribution, k=k
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _alive_subtree_stats(hierarchy, alive, probs):
+    """Subtree weight and size of every alive node (one bottom-up pass)."""
+    weights = [0.0] * hierarchy.n
+    sizes = [0] * hierarchy.n
+    for v in reversed(hierarchy.topo_ix):
+        if not alive[v]:
+            continue
+        weight = float(probs[v])
+        size = 1
+        for c in hierarchy.children_ix(v):
+            if alive[c]:
+                weight += weights[c]
+                size += sizes[c]
+        weights[v] = weight
+        sizes[v] = size
+    return weights, sizes
+
+
+def _heavy_path(hierarchy, alive, weights, root):
+    """The weighted heavy path from ``root`` down to an alive leaf."""
+    path = [root]
+    v = root
+    while True:
+        best = None
+        best_weight = -1.0
+        for c in hierarchy.children_ix(v):
+            if alive[c] and weights[c] > best_weight:
+                best_weight = weights[c]
+                best = c
+        if best is None:
+            return path
+        v = best
+        path.append(v)
+
+
+def _select_batch(hierarchy, alive, weights, sizes, root, k):
+    """Up to ``k`` heavy-path nodes nearest the W*j/(k+1) weight quantiles.
+
+    Falls back to subtree sizes when the remaining candidates carry no
+    probability mass (same rationale as GreedyTree's fallback).
+    """
+    metric = weights if weights[root] > 0 else [float(s) for s in sizes]
+    total = metric[root]
+    path = _heavy_path(hierarchy, alive, metric, root)
+    if len(path) < 2:
+        raise SearchError("select_batch called on a settled search")
+    candidates = path[1:]  # querying the root is informationless
+    picked: list[int] = []
+    for j in range(k, 0, -1):
+        threshold = total * j / (k + 1)
+        best = min(
+            candidates, key=lambda v: abs(metric[v] - threshold)
+        )
+        if best not in picked:
+            picked.append(best)
+    # Order root-to-leaf so answers form a yes-prefix.
+    order = {v: i for i, v in enumerate(path)}
+    picked.sort(key=order.__getitem__)
+    return picked
+
+
+def _remove_subtree(hierarchy, alive, top):
+    """Mark the alive subtree rooted at ``top`` as removed."""
+    stack = [top]
+    while stack:
+        v = stack.pop()
+        if not alive[v]:
+            continue
+        alive[v] = 0
+        for c in hierarchy.children_ix(v):
+            if alive[c]:
+                stack.append(c)

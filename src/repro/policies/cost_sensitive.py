@@ -1,0 +1,93 @@
+"""Cost-sensitive greedy for CAIGS (Section III-D, Definition 9).
+
+When question prices differ per node, the greedy policy queries the
+*cost-sensitive middle point* — the node maximising
+
+    p(G_u) * p(G \\ G_u) / c(u)
+
+which balances an even probability split against a cheap question.  With unit
+prices this degenerates to the plain middle point (Definition 4), and with
+the Equation-(1) rounded weights it carries the ``2(1 + 3 ln n)`` guarantee
+of Theorem 4.
+
+The implementation is the naive ``O(n m)``-per-round instantiation (the paper
+does not give an accelerated variant for heterogeneous prices); it is meant
+for the moderate sizes of the CAIGS experiments and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.candidate import CandidateGraph
+from repro.core.policy import Policy
+from repro.exceptions import PolicyError
+
+
+class CostSensitiveGreedyPolicy(Policy):
+    """Query the node maximising ``p(G_u) p(G \\ G_u) / c(u)``."""
+
+    name = "CostGreedy"
+    uses_distribution = True
+
+    def __init__(self, *, rounded: bool = False) -> None:
+        super().__init__()
+        self.rounded = rounded
+        if rounded:
+            self.name = "CostGreedy(rounded)"
+
+    def _reset_state(self) -> None:
+        h, dist = self.hierarchy, self.distribution
+        if self.rounded:
+            self._weights = dist.rounded_weights(h).astype(float)
+        else:
+            self._weights = dist.as_array(h)
+        self._prices = self.cost_model.as_array(h)
+        self._cg = CandidateGraph(h)
+
+    def done(self) -> bool:
+        self._require_reset()
+        return self._cg.settled
+
+    def result(self) -> Hashable:
+        return self._cg.result()
+
+    def _select_query(self) -> Hashable:
+        cg = self._cg
+        candidates = cg.reachable_ix(cg.root_ix)
+        total = float(self._weights[candidates].sum())
+        best = None
+        best_score = -1.0
+        best_split = None
+        for v in candidates:
+            if v == cg.root_ix:
+                continue
+            inside = float(self._weights[cg.reachable_ix(v)].sum())
+            score = inside * (total - inside) / self._prices[v]
+            if score > best_score:
+                best_score = score
+                best = v
+                best_split = inside
+        if best is None:
+            raise PolicyError("no candidate left to query")
+        if best_score <= 0.0:
+            # All splits carry zero probability product (mass concentrated on
+            # one side); fall back to the cheapest question that still splits
+            # the candidate set, preserving progress.
+            best = min(
+                (v for v in candidates if v != cg.root_ix),
+                key=lambda v: (self._prices[v], v),
+            )
+        return self.hierarchy.label(best)
+
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        self._cg.apply(query, answer)
+
+    def objective_of(self, label: Hashable) -> float:
+        """``p(G_u) p(G \\ G_u) / c(u)`` under the current candidate graph."""
+        cg = self._cg
+        candidates = cg.reachable_ix(cg.root_ix)
+        total = float(self._weights[candidates].sum())
+        ix = self.hierarchy.index(label)
+        inside = float(self._weights[cg.reachable_ix(ix)].sum())
+        return inside * (total - inside) / self._prices[ix]

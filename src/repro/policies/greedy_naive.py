@@ -1,0 +1,98 @@
+"""``GreedyNaive`` — the straightforward greedy instantiation (Algorithm 2).
+
+In every round it enumerates every remaining candidate node, computes the
+total probability of that node's reachable set by BFS (Algorithm 3,
+``GetReachableSetWeight``), and queries the middle point — the node
+minimising ``|2 p(G_u) - p(G)|`` (Definition 4).  Total time ``O(n^2 m)``,
+which is exactly why the paper develops ``GreedyTree`` and ``GreedyDAG``;
+this class is kept as the reference implementation (the efficient policies
+are property-tested to match its objective value) and as the slow baseline of
+the Fig. 6 running-time experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.core.candidate import CandidateGraph
+from repro.core.policy import Policy
+from repro.exceptions import PolicyError
+
+
+class GreedyNaivePolicy(Policy):
+    """Per-round exhaustive middle-point search (Algorithms 2 and 3).
+
+    Parameters
+    ----------
+    rounded:
+        Use the Equation-(1) rounded integer weights instead of the raw
+        probabilities.  The rounded variant is the one with the
+        ``2(1 + 3 ln n)`` guarantee on DAGs (Theorem 1).
+    """
+
+    name = "GreedyNaive"
+    uses_distribution = True
+
+    def __init__(self, *, rounded: bool = False) -> None:
+        super().__init__()
+        self.rounded = rounded
+        if rounded:
+            self.name = "GreedyNaive(rounded)"
+
+    def _reset_state(self) -> None:
+        h, dist = self.hierarchy, self.distribution
+        if self.rounded:
+            self._weights = dist.rounded_weights(h).astype(float)
+        else:
+            self._weights = dist.as_array(h)
+        self._cg = CandidateGraph(h)
+
+    def done(self) -> bool:
+        self._require_reset()
+        return self._cg.settled
+
+    def result(self) -> Hashable:
+        return self._cg.result()
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, Lines 3-9
+    # ------------------------------------------------------------------
+    def _select_query(self) -> Hashable:
+        cg = self._cg
+        candidates = cg.reachable_ix(cg.root_ix)
+        total = float(self._weights[candidates].sum())
+        best_val = None
+        best = None
+        for v in candidates:
+            if v == cg.root_ix:
+                # Querying the current root returns yes unconditionally and
+                # eliminates nothing; skip it so every query makes progress.
+                continue
+            reach_weight = self._reachable_set_weight(v)
+            value = abs(2.0 * reach_weight - total)
+            if best_val is None or value < best_val:
+                best_val = value
+                best = v
+        if best is None:
+            raise PolicyError("no candidate left to query")
+        return self.hierarchy.label(best)
+
+    def _reachable_set_weight(self, v: int) -> float:
+        """Algorithm 3: BFS total weight of the alive reachable set of ``v``."""
+        return float(self._weights[self._cg.reachable_ix(v)].sum())
+
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        self._cg.apply(query, answer)
+
+    # ------------------------------------------------------------------
+    # Introspection for tests
+    # ------------------------------------------------------------------
+    def objective_of(self, label: Hashable) -> float:
+        """``|2 p(G_u) - p(G)|`` of any candidate under the current state."""
+        cg = self._cg
+        candidates = cg.reachable_ix(cg.root_ix)
+        total = float(self._weights[candidates].sum())
+        ix = self.hierarchy.index(label)
+        return abs(2.0 * self._reachable_set_weight(ix) - total)

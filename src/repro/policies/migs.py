@@ -1,0 +1,83 @@
+"""The ``MIGS`` baseline — multiple-choice interactive graph search.
+
+Li et al. (VLDB'20) categorise objects with multiple-choice questions: at the
+current category the crowd is shown its children as choices and picks the one
+containing the object (or "none of these").  The paper under reproduction
+charges MIGS by the *number of choices read by the crowd*, "since a k-choice
+query can be decomposed to k binary queries" (Section V-A).
+
+In the binary-oracle protocol of this library each read choice is one
+``reach(child)`` probe: the crowd reads down the choice list and stops at
+the first match — so a question resolved by the ``j``-th choice costs ``j``
+reads — while a "none of these" answer costs the full list, after which the
+current node is the answer.  The presentation order of the choices is
+deterministic but uncorrelated with popularity or structure (MIGS minimises
+the number of *questions*, not the reads, so its choice lists carry no
+reading-order optimisation).  This reproduces the paper's observed
+behaviour: MIGS's choices-read cost is *comparable to TopDown* — both probe
+child lists level by level, differing only in list order — and both sit far
+above WIGS and the greedy policies (Tables III-V, where either of the two
+is slightly ahead depending on the dataset).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Hashable
+
+from repro.core.policy import Policy
+from repro.exceptions import PolicyError
+
+
+class MigsPolicy(Policy):
+    """Multiple-choice descent; cost counts choices read."""
+
+    name = "MIGS"
+    uses_distribution = False
+
+    def _reset_state(self) -> None:
+        self._enter(self.hierarchy.root_ix)
+
+    def _enter(self, node: int) -> None:
+        """Start a fresh multi-choice question at ``node``."""
+        self._current = node
+        self._order = self._ordered_children(node)
+        self._cursor = 0
+
+    def _ordered_children(self, ix: int) -> list[int]:
+        """Deterministic choice order, uncorrelated with popularity.
+
+        A different hash salt than TopDown's probe order, so the two
+        baselines face different (but equally uninformed) orders and their
+        costs differ per target while matching in expectation.
+        """
+        children = self.hierarchy.children_ix(ix)
+        return sorted(
+            children,
+            key=lambda c: zlib.crc32(
+                (repr(self.hierarchy.label(c)) + "/migs").encode()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        self._require_reset()
+        return self._cursor >= len(self._order)
+
+    def result(self) -> Hashable:
+        if not self.done():
+            raise PolicyError("MIGS has not identified the target yet")
+        return self.hierarchy.label(self._current)
+
+    def _select_query(self) -> Hashable:
+        return self.hierarchy.label(self._order[self._cursor])
+
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        child = self._order[self._cursor]
+        if answer:
+            # The crowd found its choice after reading this far; descend.
+            self._enter(child)
+        else:
+            self._cursor += 1

@@ -1,0 +1,48 @@
+"""A seeded random-query control baseline.
+
+Not from the paper — a floor for experiments and tests: any sensible policy
+must beat uniformly random (non-root) candidate queries.  Determinism per
+``seed`` keeps decision-tree construction and paired comparisons possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.core.candidate import CandidateGraph
+from repro.core.policy import Policy
+
+
+class RandomPolicy(Policy):
+    """Queries a uniformly random remaining candidate (never the root)."""
+
+    name = "Random"
+    uses_distribution = False
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+
+    def _reset_state(self) -> None:
+        self._cg = CandidateGraph(self.hierarchy)
+        self._rng = np.random.default_rng(self.seed)
+
+    def done(self) -> bool:
+        self._require_reset()
+        return self._cg.settled
+
+    def result(self) -> Hashable:
+        return self._cg.result()
+
+    def _select_query(self) -> Hashable:
+        cg = self._cg
+        candidates = [
+            ix for ix in cg.reachable_ix(cg.root_ix) if ix != cg.root_ix
+        ]
+        pick = candidates[int(self._rng.integers(0, len(candidates)))]
+        return self.hierarchy.label(pick)
+
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        self._cg.apply(query, answer)

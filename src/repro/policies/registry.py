@@ -1,0 +1,55 @@
+"""Name-based policy registry used by experiments, benches, and the CLI."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.policy import Policy
+from repro.exceptions import PolicyError
+from repro.policies.cost_sensitive import CostSensitiveGreedyPolicy
+from repro.policies.greedy_dag import GreedyDagPolicy
+from repro.policies.greedy_naive import GreedyNaivePolicy
+from repro.policies.greedy_tree import GreedyTreePolicy
+from repro.policies.migs import MigsPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.topdown import TopDownPolicy
+from repro.policies.wigs import WigsPolicy
+
+_REGISTRY: dict[str, Callable[..., Policy]] = {
+    "topdown": TopDownPolicy,
+    "random": RandomPolicy,
+    "migs": MigsPolicy,
+    "wigs": WigsPolicy,
+    "greedy-naive": GreedyNaivePolicy,
+    "greedy-tree": GreedyTreePolicy,
+    "greedy-dag": GreedyDagPolicy,
+    "cost-greedy": CostSensitiveGreedyPolicy,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def greedy_for(hierarchy: Hierarchy, **kwargs) -> Policy:
+    """The paper's recommended greedy for a hierarchy's shape.
+
+    ``GreedyTree`` on trees, ``GreedyDAG`` (rounded) on general DAGs — the
+    pairing used throughout the paper's evaluation.
+    """
+    if hierarchy.is_tree:
+        return GreedyTreePolicy(**kwargs)
+    return GreedyDagPolicy(**kwargs)

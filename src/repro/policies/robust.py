@@ -1,0 +1,84 @@
+"""Noise-hardened search strategies (the paper's future-work direction).
+
+Section VII flags crowd noise — including *persistent* noise — as the open
+challenge for IGS.  This module provides the two standard mitigations so the
+reproduction can quantify them (see ``examples/noisy_crowd.py`` and the
+``noise`` experiment):
+
+* **Per-question redundancy** — wrap the oracle in
+  :class:`~repro.core.oracle.MajorityVoteOracle` (ask each question to
+  ``2t + 1`` workers).  Effective against transient noise, useless against
+  persistent noise, and multiplies the query bill by the vote count.
+* **Per-search redundancy** — :func:`repeated_search_majority` runs the whole
+  interactive search ``r`` times and returns the plurality label.  Because
+  each run asks different question sequences once earlier answers diverge,
+  this also resists *some* persistent noise: a consistently wrong answer on
+  one node only corrupts runs that happen to ask that node.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Hashable
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import Oracle
+from repro.core.policy import Policy
+from repro.core.session import run_search
+from repro.exceptions import SearchError
+
+
+def repeated_search_majority(
+    policy: Policy,
+    oracle_factory: Callable[[], Oracle],
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    *,
+    repeats: int = 3,
+    max_queries_per_run: int | None = None,
+) -> tuple[Hashable, int]:
+    """Run the search ``repeats`` times and return the plurality answer.
+
+    Parameters
+    ----------
+    oracle_factory:
+        Builds a fresh oracle per run (fresh noise draws); a shared oracle
+        would replay identical transient noise and defeat the redundancy.
+    repeats:
+        Number of independent runs (odd values avoid ties).
+
+    Returns
+    -------
+    (label, total_queries):
+        The plurality label over the completed runs and the total number of
+        questions spent across all runs.  Runs that dead-end (noise emptied
+        the candidate set or blew the budget) are discarded; if every run
+        dead-ends a :class:`SearchError` is raised.
+    """
+    if repeats < 1:
+        raise SearchError(f"repeats must be >= 1, got {repeats}")
+    votes: Counter = Counter()
+    total_queries = 0
+    failures = 0
+    for _ in range(repeats):
+        oracle = oracle_factory()
+        try:
+            result = run_search(
+                policy,
+                oracle,
+                hierarchy,
+                distribution,
+                max_queries=max_queries_per_run,
+            )
+        except SearchError:
+            failures += 1
+            continue
+        votes[result.returned] += 1
+        total_queries += result.num_queries
+    if not votes:
+        raise SearchError(
+            f"all {failures} search runs dead-ended under oracle noise"
+        )
+    label, _ = max(votes.items(), key=lambda item: (item[1], str(item[0])))
+    return label, total_queries

@@ -1,0 +1,67 @@
+"""The ``TopDown`` baseline (paper Section I).
+
+TopDown starts at the root and queries the current node's children one by one
+until it receives a yes answer; it then descends into that child and repeats.
+If every child answers no, the current node is the target.  It ignores the
+target distribution entirely, which is exactly why the greedy policies beat
+it in the paper's experiments.
+
+Children are probed in a deterministic *label-hash* order rather than
+storage order: the synthetic generators lay children out in creation order,
+which correlates with popularity, and probing in that order would hand
+TopDown an accidental advantage the real datasets do not provide.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Hashable
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.policy import Policy
+from repro.exceptions import PolicyError
+
+
+def neutral_order(hierarchy: Hierarchy, children: tuple[int, ...]) -> list[int]:
+    """Deterministic probe order uncorrelated with generation order."""
+    return sorted(
+        children,
+        key=lambda c: zlib.crc32(repr(hierarchy.label(c)).encode()),
+    )
+
+
+class TopDownPolicy(Policy):
+    """Sequential child probing from the root downwards."""
+
+    name = "TopDown"
+    uses_distribution = False
+
+    def _reset_state(self) -> None:
+        h = self.hierarchy
+        self._current = h.root_ix
+        self._child_queue = neutral_order(h, h.children_ix(self._current))
+        self._cursor = 0
+
+    def done(self) -> bool:
+        self._require_reset()
+        return self._cursor >= len(self._child_queue)
+
+    def result(self) -> Hashable:
+        if not self.done():
+            raise PolicyError("TopDown has not identified the target yet")
+        return self.hierarchy.label(self._current)
+
+    def _select_query(self) -> Hashable:
+        return self.hierarchy.label(self._child_queue[self._cursor])
+
+    def _apply_answer(self, query: Hashable, answer: bool) -> None:
+        child = self._child_queue[self._cursor]
+        if answer:
+            # Descend: the target lies in the subgraph rooted at this child.
+            self._current = child
+            self._child_queue = neutral_order(
+                self.hierarchy, self.hierarchy.children_ix(child)
+            )
+            self._cursor = 0
+        else:
+            self._cursor += 1

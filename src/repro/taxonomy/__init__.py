@@ -1,0 +1,51 @@
+"""Taxonomy substrate: hierarchy generators, catalogs, parsers, statistics."""
+
+from repro.taxonomy.amazon import amazon_catalog, amazon_like, parse_category_paths
+from repro.taxonomy.generators import (
+    balanced_tree,
+    path_graph,
+    random_dag,
+    random_tree,
+    star_graph,
+)
+from repro.taxonomy.imagenet import (
+    imagenet_catalog,
+    imagenet_like,
+    parse_structure_xml,
+)
+from repro.taxonomy.io import (
+    load_catalog,
+    load_distribution,
+    load_edge_list,
+    load_hierarchy,
+    save_catalog,
+    save_distribution,
+    save_edge_list,
+    save_hierarchy,
+)
+from repro.taxonomy.objects import Catalog
+from repro.taxonomy.stats import TaxonomyStats
+
+__all__ = [
+    "Catalog",
+    "TaxonomyStats",
+    "amazon_catalog",
+    "amazon_like",
+    "balanced_tree",
+    "imagenet_catalog",
+    "imagenet_like",
+    "load_catalog",
+    "load_distribution",
+    "load_edge_list",
+    "load_hierarchy",
+    "parse_category_paths",
+    "parse_structure_xml",
+    "path_graph",
+    "random_dag",
+    "random_tree",
+    "save_catalog",
+    "save_distribution",
+    "save_edge_list",
+    "save_hierarchy",
+    "star_graph",
+]

@@ -1,0 +1,73 @@
+"""Weighted sampling support for the taxonomy generators.
+
+Growing a preferential-attachment tree needs "pick an existing node with
+probability proportional to its (changing) weight" in better than linear
+time per draw.  :class:`FenwickSampler` keeps the weights in a Fenwick
+(binary indexed) tree, giving ``O(log n)`` draws and updates, so generating
+paper-scale hierarchies (tens of thousands of nodes) stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class FenwickSampler:
+    """Dynamic weighted sampler over integer keys ``0 .. capacity-1``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ReproError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._tree = [0.0] * (capacity + 1)
+        self._weights = [0.0] * capacity
+        self._total = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights."""
+        return self._total
+
+    def weight(self, key: int) -> float:
+        return self._weights[key]
+
+    def set_weight(self, key: int, weight: float) -> None:
+        """Set the weight of ``key`` (must be non-negative)."""
+        if not 0 <= key < self._capacity:
+            raise ReproError(f"key {key} out of range [0, {self._capacity})")
+        if weight < 0:
+            raise ReproError(f"weight must be non-negative, got {weight}")
+        delta = weight - self._weights[key]
+        self._weights[key] = weight
+        self._total += delta
+        i = key + 1
+        while i <= self._capacity:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a key with probability proportional to its weight."""
+        if self._total <= 0:
+            raise ReproError("cannot sample from an all-zero sampler")
+        # Walk down the implicit Fenwick tree to find the smallest prefix
+        # whose cumulative weight exceeds the drawn threshold.
+        threshold = rng.random() * self._total
+        pos = 0
+        step = 1
+        while step * 2 <= self._capacity:
+            step *= 2
+        while step:
+            nxt = pos + step
+            if nxt <= self._capacity and self._tree[nxt] < threshold:
+                threshold -= self._tree[nxt]
+                pos = nxt
+            step //= 2
+        key = min(pos, self._capacity - 1)
+        # Guard against floating-point drift selecting a zero-weight key.
+        if self._weights[key] <= 0:
+            key = next(
+                k for k in range(self._capacity) if self._weights[k] > 0
+            )
+        return key

@@ -1,0 +1,159 @@
+"""Random taxonomy generators.
+
+The paper evaluates on the Amazon product tree and the ImageNet DAG
+(Table II).  Neither corpus ships with this repository, so these generators
+synthesise hierarchies with the same *shape statistics* — bounded height,
+heavy-tailed out-degrees with hub nodes, and (for DAGs) a sprinkling of
+multi-parent cross edges.  The comparisons in the paper depend only on these
+shape properties plus the target distribution, which is supplied separately.
+
+Trees grow by preferential attachment: node ``i`` picks an existing parent
+with weight ``(children(v) + 1) ** attachment_power * depth_decay ** depth(v)``,
+truncated at ``max_depth``.  ``attachment_power > 1`` produces the heavy hub
+degrees of real taxonomies; ``depth_decay`` shapes how much mass stays near
+the root; the cap pins the height to the dataset's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import ReproError
+from repro.taxonomy._sampling import FenwickSampler
+
+
+def random_tree(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    attachment_power: float = 1.2,
+    depth_decay: float = 0.55,
+    max_depth: int = 10,
+    label_prefix: str = "n",
+) -> Hierarchy:
+    """A random rooted tree with ``n`` nodes and height at most ``max_depth``.
+
+    Node labels are ``f"{label_prefix}{i}"`` with ``i = 0`` the root, so
+    labels are stable across runs with the same seed.
+    """
+    if n < 1:
+        raise ReproError(f"need at least one node, got {n}")
+    if max_depth < 1 and n > 1:
+        raise ReproError("max_depth must be >= 1 for multi-node trees")
+    parent = [-1] * n
+    depth = [0] * n
+    children_count = [0] * n
+    sampler = FenwickSampler(max(n, 1))
+    sampler.set_weight(0, 1.0)
+
+    def weight_of(v: int) -> float:
+        if depth[v] >= max_depth:
+            return 0.0
+        return (children_count[v] + 1.0) ** attachment_power * (
+            depth_decay ** depth[v]
+        )
+
+    for i in range(1, n):
+        p = sampler.sample(rng)
+        parent[i] = p
+        depth[i] = depth[p] + 1
+        children_count[p] += 1
+        sampler.set_weight(p, weight_of(p))
+        sampler.set_weight(i, weight_of(i))
+
+    edges = [
+        (f"{label_prefix}{parent[i]}", f"{label_prefix}{i}")
+        for i in range(1, n)
+    ]
+    return Hierarchy(edges, nodes=[f"{label_prefix}0"])
+
+
+def random_dag(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    extra_edge_fraction: float = 0.05,
+    attachment_power: float = 1.2,
+    depth_decay: float = 0.55,
+    max_depth: int = 13,
+    label_prefix: str = "n",
+) -> Hierarchy:
+    """A random single-rooted DAG: a tree plus acyclic cross edges.
+
+    ``extra_edge_fraction * n`` additional edges are drawn between random
+    node pairs ordered by the tree's construction order (parents are always
+    older than children, so every added edge keeps the graph acyclic) —
+    these give some nodes several parents, exercising the DAG-specific code
+    paths (shared descendants, reverse-BFS maintenance).
+    """
+    tree = random_tree(
+        n,
+        rng,
+        attachment_power=attachment_power,
+        depth_decay=depth_decay,
+        max_depth=max_depth,
+        label_prefix=label_prefix,
+    )
+    if n < 3 or extra_edge_fraction <= 0:
+        return tree
+    edges = set()
+    label_edges = []
+    for u, v in tree.edges():
+        ui = int(str(u)[len(label_prefix):])
+        vi = int(str(v)[len(label_prefix):])
+        edges.add((ui, vi))
+        label_edges.append((u, v))
+    target_extra = int(round(extra_edge_fraction * n))
+    added = 0
+    attempts = 0
+    while added < target_extra and attempts < 20 * target_extra + 100:
+        attempts += 1
+        # Construction order doubles as a topological order: node i's tree
+        # parent has a smaller index, so any edge old -> new is acyclic.
+        j = int(rng.integers(1, n))
+        i = int(rng.integers(0, j))
+        if (i, j) in edges:
+            continue
+        edges.add((i, j))
+        label_edges.append((f"{label_prefix}{i}", f"{label_prefix}{j}"))
+        added += 1
+    return Hierarchy(label_edges, nodes=[f"{label_prefix}0"])
+
+
+def balanced_tree(branching: int, height: int, *, label_prefix: str = "b") -> Hierarchy:
+    """A complete ``branching``-ary tree of the given height (for tests)."""
+    if branching < 1 or height < 0:
+        raise ReproError("branching must be >= 1 and height >= 0")
+    edges = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for u in frontier:
+            for _ in range(branching):
+                edges.append((f"{label_prefix}{u}", f"{label_prefix}{next_id}"))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Hierarchy(edges, nodes=[f"{label_prefix}0"])
+
+
+def path_graph(n: int, *, label_prefix: str = "p") -> Hierarchy:
+    """A directed path of ``n`` nodes (worst case for TopDown)."""
+    if n < 1:
+        raise ReproError(f"need at least one node, got {n}")
+    edges = [
+        (f"{label_prefix}{i}", f"{label_prefix}{i + 1}") for i in range(n - 1)
+    ]
+    return Hierarchy(edges, nodes=[f"{label_prefix}0"])
+
+
+def star_graph(n: int, *, label_prefix: str = "s") -> Hierarchy:
+    """A root with ``n - 1`` leaf children (worst case for binary search)."""
+    if n < 1:
+        raise ReproError(f"need at least one node, got {n}")
+    edges = [
+        (f"{label_prefix}0", f"{label_prefix}{i}") for i in range(1, n)
+    ]
+    return Hierarchy(edges, nodes=[f"{label_prefix}0"])

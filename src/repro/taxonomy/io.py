@@ -1,0 +1,100 @@
+"""Persistence for hierarchies and catalogs (JSON and edge-list formats)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import ReproError
+from repro.taxonomy.objects import Catalog
+
+_FORMAT_VERSION = 1
+
+
+def hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
+    """JSON-serialisable form (string labels assumed)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "nodes": [str(v) for v in hierarchy.nodes],
+        "edges": [[str(u), str(v)] for u, v in hierarchy.edges()],
+    }
+
+
+def hierarchy_from_dict(payload: dict) -> Hierarchy:
+    try:
+        nodes = payload["nodes"]
+        edges = [(u, v) for u, v in payload["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed hierarchy payload: {exc}") from exc
+    return Hierarchy(edges, nodes=nodes)
+
+
+def save_hierarchy(hierarchy: Hierarchy, path: str | Path) -> None:
+    """Write a hierarchy as JSON."""
+    Path(path).write_text(json.dumps(hierarchy_to_dict(hierarchy)))
+
+
+def load_hierarchy(path: str | Path) -> Hierarchy:
+    """Read a hierarchy written by :func:`save_hierarchy`."""
+    return hierarchy_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_edge_list(hierarchy: Hierarchy, path: str | Path) -> None:
+    """Write a tab-separated ``parent<TAB>child`` edge list."""
+    lines = [f"{u}\t{v}" for u, v in hierarchy.edges()]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_edge_list(path: str | Path) -> Hierarchy:
+    """Read a tab-separated edge list (labels are strings)."""
+    edges = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 2:
+            raise ReproError(f"{path}:{lineno}: expected 'parent<TAB>child'")
+        edges.append((parts[0], parts[1]))
+    return Hierarchy(edges)
+
+
+def save_distribution(distribution, path: str | Path) -> None:
+    """Write a target distribution as JSON (string labels assumed)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "probs": {str(node): p for node, p in distribution.items()},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_distribution(path: str | Path):
+    """Read a distribution written by :func:`save_distribution`."""
+    from repro.core.distribution import TargetDistribution
+
+    payload = json.loads(Path(path).read_text())
+    try:
+        probs = payload["probs"]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed distribution payload: {exc}") from exc
+    return TargetDistribution(probs, normalize=True)
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write catalog counts as JSON (hierarchy stored separately)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "counts": {str(k): v for k, v in catalog.counts.items()},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_catalog(hierarchy: Hierarchy, path: str | Path) -> Catalog:
+    """Read catalog counts written by :func:`save_catalog`."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        counts = payload["counts"]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed catalog payload: {exc}") from exc
+    return Catalog(hierarchy, counts)

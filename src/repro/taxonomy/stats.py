@@ -1,0 +1,43 @@
+"""Dataset statistics (paper Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hierarchy import Hierarchy
+from repro.taxonomy.objects import Catalog
+
+
+@dataclass(frozen=True)
+class TaxonomyStats:
+    """The Table II row for one dataset."""
+
+    name: str
+    nodes: int
+    height: int
+    max_out_degree: int
+    kind: str
+    num_objects: int
+
+    @classmethod
+    def of(
+        cls, name: str, hierarchy: Hierarchy, catalog: Catalog | None = None
+    ) -> "TaxonomyStats":
+        return cls(
+            name=name,
+            nodes=hierarchy.n,
+            height=hierarchy.height,
+            max_out_degree=hierarchy.max_out_degree,
+            kind="Tree" if hierarchy.is_tree else "DAG",
+            num_objects=catalog.num_objects if catalog else 0,
+        )
+
+    def as_row(self) -> dict:
+        return {
+            "Dataset": self.name,
+            "#nodes": self.nodes,
+            "Height": self.height,
+            "Max Deg.": self.max_out_degree,
+            "Type": self.kind,
+            "#objects": self.num_objects,
+        }

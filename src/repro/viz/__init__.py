@@ -1,0 +1,5 @@
+"""Plain-text visualisation helpers."""
+
+from repro.viz.ascii import render_decision_tree, render_hierarchy
+
+__all__ = ["render_decision_tree", "render_hierarchy"]

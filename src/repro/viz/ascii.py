@@ -1,0 +1,68 @@
+"""ASCII rendering of hierarchies and decision trees (for examples and docs)."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.decision_tree import DecisionTree, Leaf, Question
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+
+
+def render_hierarchy(
+    hierarchy: Hierarchy,
+    *,
+    distribution: TargetDistribution | None = None,
+    max_nodes: int = 200,
+) -> str:
+    """Indented tree view of a hierarchy (DAG nodes re-appear per parent).
+
+    With a distribution, each node is annotated with its probability.
+    Rendering stops after ``max_nodes`` lines with an ellipsis marker.
+    """
+    lines: list[str] = []
+    budget = max_nodes
+
+    def annotate(label: Hashable) -> str:
+        if distribution is None:
+            return str(label)
+        return f"{label} ({distribution.p(label):.2%})"
+
+    def walk(label: Hashable, prefix: str, tail: bool, is_root: bool) -> None:
+        nonlocal budget
+        if budget <= 0:
+            return
+        budget -= 1
+        if is_root:
+            lines.append(annotate(label))
+        else:
+            connector = "`-- " if tail else "|-- "
+            lines.append(prefix + connector + annotate(label))
+        children = hierarchy.children(label)
+        for i, child in enumerate(children):
+            extension = "" if is_root else ("    " if tail else "|   ")
+            walk(child, prefix + extension, i == len(children) - 1, False)
+
+    walk(hierarchy.root, "", True, True)
+    if budget <= 0:
+        lines.append("... (truncated)")
+    return "\n".join(lines)
+
+
+def render_decision_tree(tree: DecisionTree, *, max_depth: int = 8) -> str:
+    """Indented yes/no view of a policy's decision tree."""
+    lines: list[str] = []
+
+    def walk(node: Question | Leaf, prefix: str, branch: str, depth: int) -> None:
+        if isinstance(node, Leaf):
+            lines.append(f"{prefix}{branch}=> {node.target}")
+            return
+        lines.append(f"{prefix}{branch}reach({node.query})?")
+        if depth >= max_depth:
+            lines.append(f"{prefix}    ... (truncated at depth {max_depth})")
+            return
+        walk(node.yes, prefix + "    ", "Y: ", depth + 1)
+        walk(node.no, prefix + "    ", "N: ", depth + 1)
+
+    walk(tree.root, "", "", 0)
+    return "\n".join(lines)

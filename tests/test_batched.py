@@ -1,0 +1,99 @@
+"""Unit and property tests for batched AIGS (Section III-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle
+from repro.exceptions import HierarchyError, SearchError
+from repro.policies import batched_search_for_target, run_batched_search
+
+from conftest import make_random_tree, random_distribution
+
+
+class TestBasics:
+    def test_rejects_dags(self, diamond_dag):
+        with pytest.raises(HierarchyError, match="open problem"):
+            run_batched_search(diamond_dag, ExactOracle(diamond_dag, "c"))
+
+    def test_rejects_bad_k(self, vehicle_hierarchy):
+        with pytest.raises(SearchError, match="batch size"):
+            run_batched_search(
+                vehicle_hierarchy,
+                ExactOracle(vehicle_hierarchy, "Car"),
+                k=0,
+            )
+
+    def test_single_node_needs_no_rounds(self):
+        h = Hierarchy([], nodes=["only"])
+        result = run_batched_search(h, ExactOracle(h, "only"))
+        assert result.returned == "only"
+        assert result.num_rounds == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 6])
+    def test_identifies_every_target(self, vehicle_hierarchy, vehicle_distribution, k):
+        for target in vehicle_hierarchy.nodes:
+            result = batched_search_for_target(
+                vehicle_hierarchy, target, vehicle_distribution, k=k
+            )
+            assert result.returned == target
+            assert result.num_questions >= result.num_rounds
+            assert result.num_questions <= k * result.num_rounds
+
+    def test_answers_form_yes_prefix(self, vehicle_hierarchy, vehicle_distribution):
+        """Nested heavy-path subtrees make every round yes* then no*."""
+        result = batched_search_for_target(
+            vehicle_hierarchy, "Mercedes", vehicle_distribution, k=3
+        )
+        for round_answers in result.rounds:
+            answers = [a for _, a in round_answers]
+            assert answers == sorted(answers, reverse=True)
+
+    def test_zero_mass_fallback(self, vehicle_hierarchy):
+        dist = TargetDistribution({"Maxima": 1.0})
+        for target in vehicle_hierarchy.nodes:
+            result = batched_search_for_target(
+                vehicle_hierarchy, target, dist, k=3
+            )
+            assert result.returned == target
+
+
+class TestBatchingTradeOff:
+    def test_rounds_shrink_questions_grow(self):
+        h = make_random_tree(150, seed=4)
+        dist = random_distribution(h, 4)
+        gen = np.random.default_rng(4)
+        targets = [h.label(int(gen.integers(0, h.n))) for _ in range(40)]
+
+        def averages(k):
+            rounds = questions = 0
+            for target in targets:
+                result = batched_search_for_target(h, target, dist, k=k)
+                rounds += result.num_rounds
+                questions += result.num_questions
+            return rounds / len(targets), questions / len(targets)
+
+        rounds1, questions1 = averages(1)
+        rounds4, questions4 = averages(4)
+        assert rounds4 < rounds1
+        assert questions4 >= questions1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(min_value=2, max_value=30),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_property_batched_soundness(seed, n, k):
+    h = make_random_tree(n, seed=seed % 1000)
+    dist = random_distribution(h, seed % 997)
+    gen = np.random.default_rng(seed)
+    target = h.label(int(gen.integers(0, h.n)))
+    result = batched_search_for_target(h, target, dist, k=k)
+    assert result.returned == target
+    assert result.num_rounds <= h.n

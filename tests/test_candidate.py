@@ -1,0 +1,107 @@
+"""Unit tests for the candidate-graph state (Algorithm 1 updates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidate import CandidateGraph
+from repro.exceptions import SearchError
+
+from conftest import make_random_dag
+
+
+class TestUpdates:
+    def test_initial_state(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        assert cg.size == 7
+        assert cg.root == "Vehicle"
+        assert not cg.settled
+        assert set(cg.candidates()) == set(vehicle_hierarchy.nodes)
+
+    def test_yes_restricts_to_subgraph(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        cg.apply("Nissan", True)
+        assert cg.root == "Nissan"
+        assert set(cg.candidates()) == {"Nissan", "Maxima", "Sentra"}
+        assert cg.size == 3
+
+    def test_no_removes_subgraph(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        cg.apply("Nissan", False)
+        assert cg.root == "Vehicle"
+        assert set(cg.candidates()) == {"Vehicle", "Car", "Honda", "Mercedes"}
+
+    def test_sequence_settles(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        cg.apply("Car", True)
+        cg.apply("Nissan", False)
+        cg.apply("Honda", False)
+        cg.apply("Mercedes", False)
+        assert cg.settled
+        assert cg.result() == "Car"
+
+    def test_result_before_settled(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        with pytest.raises(SearchError):
+            cg.result()
+
+    def test_no_on_root_rejected(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        with pytest.raises(SearchError, match="empty the candidate set"):
+            cg.apply("Vehicle", False)
+
+    def test_query_on_dead_node_rejected(self, vehicle_hierarchy):
+        cg = CandidateGraph(vehicle_hierarchy)
+        cg.apply("Nissan", False)
+        with pytest.raises(SearchError, match="no longer a candidate"):
+            cg.apply("Maxima", True)
+
+    def test_dag_no_keeps_other_path(self, diamond_dag):
+        cg = CandidateGraph(diamond_dag)
+        cg.apply("a", False)  # removes a, c, d (c reachable only via a or b)
+        assert set(cg.candidates()) == {"r", "b"}
+
+    def test_dag_yes_keeps_shared_descendants(self, diamond_dag):
+        cg = CandidateGraph(diamond_dag)
+        cg.apply("b", True)
+        assert set(cg.candidates()) == {"b", "c", "d"}
+
+
+class TestPrunedReachabilityInvariant:
+    """For surviving candidates, pruned-graph reachability == original.
+
+    This is the invariant that lets every policy run BFS on the alive
+    subgraph only (see the module docstring of repro.core.candidate).
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_invariant_random_dags(self, seed):
+        h = make_random_dag(25, seed=seed)
+        import numpy as np
+
+        gen = np.random.default_rng(seed)
+        target = h.label(int(gen.integers(0, h.n)))
+        truth = h.ancestors(target)
+        cg = CandidateGraph(h)
+        # Drive a random-but-consistent search for `target`.
+        for _ in range(30):
+            if cg.settled:
+                break
+            candidates = [c for c in cg.candidates() if c != cg.root]
+            query = candidates[int(gen.integers(0, len(candidates)))]
+            answer = query in truth
+            before = set(cg.candidates())
+            cg.apply(query, answer)
+            after = set(cg.candidates())
+            assert target in after
+            # Pruned reachability agrees with the original hierarchy for
+            # every surviving candidate.
+            root_ix = cg.root_ix
+            reachable = {
+                h.label(ix) for ix in cg.reachable_ix(root_ix)
+            }
+            original = {
+                v for v in before if h.reaches(cg.root, v) and v in after
+            }
+            assert reachable == original
+        assert cg.settled and cg.result() == target

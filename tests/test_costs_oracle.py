@@ -1,0 +1,154 @@
+"""Unit tests for query cost models and oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import TableCost, UnitCost, random_costs
+from repro.core.oracle import (
+    CountingOracle,
+    ExactOracle,
+    MajorityVoteOracle,
+    NoisyOracle,
+)
+from repro.exceptions import CostModelError, OracleError
+
+
+class TestCostModels:
+    def test_unit(self, vehicle_hierarchy):
+        model = UnitCost()
+        assert model.cost("Car") == 1.0
+        assert model.total(["Car", "Nissan"]) == 2.0
+        assert model.as_array(vehicle_hierarchy).sum() == 7.0
+
+    def test_unit_price_validated(self):
+        with pytest.raises(CostModelError):
+            UnitCost(0.0)
+
+    def test_table(self):
+        model = TableCost({"easy": 0.5, "hard": 1.5}, default=1.0)
+        assert model.cost("easy") == 0.5
+        assert model.cost("unknown") == 1.0
+
+    def test_table_missing_without_default(self):
+        model = TableCost({"easy": 0.5})
+        with pytest.raises(CostModelError, match="no price"):
+            model.cost("unknown")
+
+    def test_table_rejects_nonpositive(self):
+        with pytest.raises(CostModelError):
+            TableCost({"a": 0.0})
+        with pytest.raises(CostModelError):
+            TableCost({"a": 1.0}, default=-1.0)
+
+    def test_random_costs_bounds(self, vehicle_hierarchy, rng):
+        model = random_costs(vehicle_hierarchy, rng, low=0.5, high=1.5)
+        prices = model.as_array(vehicle_hierarchy)
+        assert (prices >= 0.5).all() and (prices <= 1.5).all()
+
+    def test_random_costs_validates_range(self, vehicle_hierarchy, rng):
+        with pytest.raises(CostModelError):
+            random_costs(vehicle_hierarchy, rng, low=2.0, high=1.0)
+
+
+class TestExactOracle:
+    def test_truthful(self, vehicle_hierarchy):
+        oracle = ExactOracle(vehicle_hierarchy, "Sentra")
+        assert oracle.answer("Vehicle")
+        assert oracle.answer("Nissan")
+        assert oracle.answer("Sentra")
+        assert not oracle.answer("Honda")
+        assert not oracle.answer("Maxima")
+
+    def test_unknown_target(self, vehicle_hierarchy):
+        with pytest.raises(OracleError):
+            ExactOracle(vehicle_hierarchy, "Tesla")
+
+    def test_unknown_query(self, vehicle_hierarchy):
+        oracle = ExactOracle(vehicle_hierarchy, "Car")
+        with pytest.raises(OracleError):
+            oracle.answer("Tesla")
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_exact(self, vehicle_hierarchy, rng):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(inner, 0.0, rng)
+        assert all(
+            noisy.answer(q) == inner.answer(q) for q in vehicle_hierarchy.nodes
+        )
+
+    def test_error_rate_validated(self, vehicle_hierarchy, rng):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        with pytest.raises(OracleError):
+            NoisyOracle(inner, 0.6, rng)
+
+    def test_transient_noise_varies(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(inner, 0.4, np.random.default_rng(0))
+        answers = [noisy.answer("Vehicle") for _ in range(200)]
+        assert len(set(answers)) == 2  # flips happen both ways over time
+
+    def test_persistent_noise_is_stable_per_node(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(
+            inner, 0.4, np.random.default_rng(0), persistent=True
+        )
+        for node in vehicle_hierarchy.nodes:
+            first = noisy.answer(node)
+            assert all(noisy.answer(node) == first for _ in range(5))
+
+    def test_flip_rate_statistics(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(inner, 0.2, np.random.default_rng(7))
+        flips = sum(
+            noisy.answer("Vehicle") != inner.answer("Vehicle")
+            for _ in range(3000)
+        )
+        assert 0.15 < flips / 3000 < 0.25
+
+
+class TestMajorityVote:
+    def test_overcomes_transient_noise(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(inner, 0.2, np.random.default_rng(5))
+        voted = MajorityVoteOracle(noisy, votes=11)
+        wrong = sum(
+            voted.answer(q) != inner.answer(q)
+            for q in vehicle_hierarchy.nodes
+            for _ in range(20)
+        )
+        assert wrong / (7 * 20) < 0.05
+
+    def test_votes_validated(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        with pytest.raises(OracleError):
+            MajorityVoteOracle(inner, votes=2)
+
+    def test_cannot_fix_persistent_noise(self, vehicle_hierarchy):
+        """The paper's point: persistent noise defeats repetition."""
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        noisy = NoisyOracle(
+            inner, 0.4, np.random.default_rng(3), persistent=True
+        )
+        wrong_nodes = [
+            q for q in vehicle_hierarchy.nodes if noisy.answer(q) != inner.answer(q)
+        ]
+        voted = MajorityVoteOracle(noisy, votes=21)
+        for q in wrong_nodes:
+            assert voted.answer(q) != inner.answer(q)
+
+
+class TestCountingOracle:
+    def test_counts_and_prices(self, vehicle_hierarchy):
+        inner = ExactOracle(vehicle_hierarchy, "Sentra")
+        counter = CountingOracle(inner, TableCost({}, default=2.0))
+        counter.answer("Car")
+        counter.answer("Nissan")
+        assert counter.num_queries == 2
+        assert counter.total_price == 4.0
+        assert counter.transcript == [("Car", True), ("Nissan", True)]
+        counter.reset_counters()
+        assert counter.num_queries == 0
+        assert counter.transcript == []

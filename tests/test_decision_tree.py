@@ -1,0 +1,103 @@
+"""Unit tests for decision-tree construction and cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import TableCost
+from repro.core.decision_tree import (
+    DecisionTree,
+    Leaf,
+    Question,
+    build_decision_tree,
+)
+from repro.core.session import search_for_target
+from repro.exceptions import SearchError
+from repro.policies import GreedyTreePolicy, TopDownPolicy, WigsPolicy
+
+from conftest import make_random_dag, make_random_tree, random_distribution
+
+
+class TestBuild:
+    def test_leaves_biject_with_nodes(self, vehicle_hierarchy, vehicle_distribution):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        tree.validate()
+        assert set(tree.leaf_depths()) == set(vehicle_hierarchy.nodes)
+
+    def test_expected_cost_matches_simulation(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        simulated = 0.0
+        policy = GreedyTreePolicy()
+        for target in vehicle_hierarchy.nodes:
+            result = search_for_target(
+                policy, vehicle_hierarchy, target, vehicle_distribution
+            )
+            simulated += vehicle_distribution.p(target) * result.num_queries
+        assert tree.expected_cost(vehicle_distribution) == pytest.approx(simulated)
+
+    @pytest.mark.parametrize("factory", [TopDownPolicy, WigsPolicy])
+    def test_other_policies_validate(self, factory, vehicle_hierarchy):
+        tree = build_decision_tree(factory, vehicle_hierarchy)
+        tree.validate()
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            h = make_random_dag(15, seed=seed)
+            dist = random_distribution(h, seed)
+            from repro.policies import GreedyDagPolicy
+
+            tree = build_decision_tree(GreedyDagPolicy, h, dist)
+            tree.validate()
+
+    def test_depth_cap(self, vehicle_hierarchy):
+        with pytest.raises(SearchError, match="deeper"):
+            build_decision_tree(TopDownPolicy, vehicle_hierarchy, max_depth=1)
+
+    def test_num_questions_bound(self, vehicle_hierarchy, vehicle_distribution):
+        """Internal nodes <= leaves - 1 (binary tree structure)."""
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        assert tree.num_questions() == len(tree.leaf_depths()) - 1
+
+
+class TestCosts:
+    def test_worst_case(self, vehicle_hierarchy, vehicle_distribution):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        depths = tree.leaf_depths()
+        assert tree.worst_case_cost() == max(depths.values())
+
+    def test_prices(self, vehicle_hierarchy, vehicle_distribution):
+        model = TableCost({}, default=3.0)
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution, model
+        )
+        prices = tree.leaf_prices(model)
+        depths = tree.leaf_depths()
+        for target in depths:
+            assert prices[target] == pytest.approx(3.0 * depths[target])
+        assert tree.expected_price(
+            vehicle_distribution, model
+        ) == pytest.approx(3.0 * tree.expected_cost(vehicle_distribution))
+
+    def test_duplicate_leaf_detected(self, vehicle_hierarchy):
+        bogus = DecisionTree(
+            Question("Car", Leaf("Sentra"), Leaf("Sentra")), vehicle_hierarchy
+        )
+        with pytest.raises(SearchError, match="two leaves"):
+            bogus.leaf_depths()
+
+    def test_validate_detects_missing_leaves(self, vehicle_hierarchy):
+        bogus = DecisionTree(
+            Question("Car", Leaf("Sentra"), Leaf("Honda")), vehicle_hierarchy
+        )
+        with pytest.raises(SearchError, match="do not cover"):
+            bogus.validate()

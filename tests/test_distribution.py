@@ -1,0 +1,155 @@
+"""Unit tests for target distributions and the Equation-(1) rounding."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import SYNTHETIC_FAMILIES, TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.exceptions import DistributionError
+
+
+class TestValidation:
+    def test_normalizes_by_default(self):
+        dist = TargetDistribution({"a": 2.0, "b": 2.0})
+        assert dist.p("a") == pytest.approx(0.5)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(DistributionError, match="sum"):
+            TargetDistribution({"a": 0.7}, normalize=False)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError, match="negative"):
+            TargetDistribution({"a": -0.1, "b": 1.1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(DistributionError, match="NaN"):
+            TargetDistribution({"a": float("nan")})
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(DistributionError, match="zero total"):
+            TargetDistribution({"a": 0.0, "b": 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError, match="empty"):
+            TargetDistribution({})
+
+
+class TestAccessors:
+    def test_unknown_node_probability_zero(self):
+        dist = TargetDistribution({"a": 1.0})
+        assert dist.p("zzz") == 0.0
+
+    def test_support_excludes_zeros(self):
+        dist = TargetDistribution({"a": 1.0, "b": 0.0})
+        assert dist.support == {"a"}
+        assert "b" in dist  # still a known node
+
+    def test_entropy(self):
+        uniform4 = TargetDistribution({i: 0.25 for i in range(4)})
+        assert uniform4.entropy() == pytest.approx(2.0)
+        point = TargetDistribution({"a": 1.0})
+        assert point.entropy() == 0.0
+
+    def test_total_mass(self):
+        dist = TargetDistribution({"a": 0.2, "b": 0.3, "c": 0.5}, normalize=False)
+        assert dist.total_mass(["a", "c"]) == pytest.approx(0.7)
+        assert dist.total_mass(["missing"]) == 0.0
+
+    def test_sampling_follows_weights(self, rng):
+        dist = TargetDistribution({"a": 0.9, "b": 0.1})
+        draws = dist.sample(rng, size=2000)
+        share_a = draws.count("a") / 2000
+        assert 0.85 < share_a < 0.95
+
+    def test_sample_single(self, rng):
+        dist = TargetDistribution({"a": 1.0})
+        assert dist.sample(rng) == "a"
+
+    def test_restricted_to(self):
+        dist = TargetDistribution({"a": 0.5, "b": 0.25, "c": 0.25}, normalize=False)
+        sub = dist.restricted_to(["a", "b"])
+        assert sub.p("a") == pytest.approx(2 / 3)
+        assert sub.p("c") == 0.0
+
+
+class TestRounding:
+    """Equation (1): w(u) = ceil(n^2 p(u) / max p)."""
+
+    def test_values(self, vehicle_hierarchy, vehicle_distribution):
+        weights = vehicle_distribution.rounded_weights(vehicle_hierarchy)
+        n = vehicle_hierarchy.n
+        by_label = dict(zip(vehicle_hierarchy.nodes, weights))
+        assert by_label["Maxima"] == n * n  # the max-probability node
+        assert by_label["Car"] == math.ceil(n * n * 0.02 / 0.40)
+
+    def test_integer_and_positive_iff_support(self, vehicle_hierarchy):
+        dist = TargetDistribution({"Maxima": 1.0, "Car": 0.0, "Vehicle": 0.5})
+        weights = dist.rounded_weights(vehicle_hierarchy)
+        by_label = dict(zip(vehicle_hierarchy.nodes, weights))
+        assert weights.dtype.kind == "i"
+        assert by_label["Car"] == 0
+        assert by_label["Honda"] == 0  # not in the distribution at all
+        assert by_label["Maxima"] > 0 and by_label["Vehicle"] > 0
+
+    def test_ratio_preserved_up_to_rounding(self, vehicle_hierarchy):
+        dist = TargetDistribution({"Maxima": 0.6, "Sentra": 0.3, "Car": 0.1})
+        weights = dist.rounded_weights(vehicle_hierarchy)
+        by_label = dict(zip(vehicle_hierarchy.nodes, weights))
+        # ceil() distorts ratios by at most ~1/n^2 in relative terms; with
+        # n = 7 the weights are 49 and 25, a 2% distortion.
+        assert by_label["Maxima"] / by_label["Sentra"] == pytest.approx(2.0, rel=0.05)
+
+    def test_requires_mass_inside_hierarchy(self, vehicle_hierarchy):
+        dist = TargetDistribution({"not-a-node": 1.0})
+        with pytest.raises(DistributionError, match="positive-probability"):
+            dist.rounded_weights(vehicle_hierarchy)
+
+
+class TestConstructors:
+    def test_equal(self, vehicle_hierarchy):
+        dist = TargetDistribution.equal(vehicle_hierarchy)
+        assert dist.p("Car") == pytest.approx(1 / 7)
+
+    def test_from_counts(self):
+        dist = TargetDistribution.from_counts({"a": 3, "b": 1})
+        assert dist.p("a") == pytest.approx(0.75)
+
+    def test_from_counts_smoothing(self, vehicle_hierarchy):
+        dist = TargetDistribution.from_counts(
+            {}, hierarchy=vehicle_hierarchy, smoothing=1.0
+        )
+        assert dist.p("Car") == pytest.approx(1 / 7)
+
+    def test_smoothing_needs_hierarchy(self):
+        with pytest.raises(DistributionError, match="hierarchy"):
+            TargetDistribution.from_counts({"a": 1}, smoothing=1.0)
+
+    def test_negative_smoothing_rejected(self, vehicle_hierarchy):
+        with pytest.raises(DistributionError, match="non-negative"):
+            TargetDistribution.from_counts(
+                {"Car": 1}, hierarchy=vehicle_hierarchy, smoothing=-1
+            )
+
+    @pytest.mark.parametrize("family", SYNTHETIC_FAMILIES)
+    def test_synthetic_families(self, family, vehicle_hierarchy, rng):
+        dist = TargetDistribution.synthetic(family, vehicle_hierarchy, rng)
+        total = sum(dist.p(v) for v in vehicle_hierarchy.nodes)
+        assert total == pytest.approx(1.0)
+
+    def test_synthetic_unknown(self, vehicle_hierarchy, rng):
+        with pytest.raises(DistributionError, match="unknown synthetic"):
+            TargetDistribution.synthetic("pareto", vehicle_hierarchy, rng)
+
+    def test_zipf_parameter_validated(self, vehicle_hierarchy, rng):
+        with pytest.raises(DistributionError, match="exceed 1"):
+            TargetDistribution.random_zipf(vehicle_hierarchy, rng, a=1.0)
+
+    def test_zipf_skews_more_than_uniform(self, rng):
+        h = Hierarchy([(f"x{i // 3}", f"x{i}") for i in range(1, 60)])
+        zipf = TargetDistribution.random_zipf(h, rng, a=2.0)
+        uniform = TargetDistribution.random_uniform(h, rng)
+        assert zipf.entropy() < uniform.entropy()

@@ -1,0 +1,154 @@
+"""Integration tests: every paper experiment runs and shows the right shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    TINY,
+    build_datasets,
+    get_scale,
+    scaled,
+)
+from repro.experiments import example2, fig4, fig5, fig6, table2, table3, table45
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return build_datasets(TINY, seed=0)
+
+
+class TestScales:
+    def test_lookup(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale("paper").amazon_nodes == 29_240
+        with pytest.raises(ReproError):
+            get_scale("huge")
+
+    def test_scaled_overrides(self):
+        custom = scaled(TINY, trials=9)
+        assert custom.trials == 9
+        assert custom.amazon_nodes == TINY.amazon_nodes
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            scaled(TINY, amazon_nodes=2)
+
+
+class TestDatasets:
+    def test_pair_shapes(self, datasets):
+        amazon, imagenet = datasets
+        assert amazon.hierarchy.is_tree
+        assert not imagenet.hierarchy.is_tree
+        assert amazon.hierarchy.n == TINY.amazon_nodes
+        assert amazon.catalog.num_objects == TINY.num_objects
+
+    def test_memoised(self):
+        assert build_datasets(TINY, 0)[0] is build_datasets(TINY, 0)[0]
+
+    def test_real_distribution_cached(self, datasets):
+        amazon, _ = datasets
+        assert amazon.real_distribution is amazon.real_distribution
+
+
+class TestTable2:
+    def test_rows(self):
+        table = table2.run(TINY, seed=0)
+        assert len(table.rows) == 4  # two datasets + two paper rows
+        assert table.rows[0]["Type"] == "Tree"
+        assert "Table II" in table.render()
+
+
+class TestTable3:
+    def test_paper_ordering_holds(self):
+        """Greedy < WIGS < TopDown, and MIGS comparable to TopDown."""
+        table = table3.run(TINY, seed=0)
+        for row in table.rows:
+            assert row["Greedy"] < row["WIGS"]
+            assert row["WIGS"] < row["TopDown"]
+            assert 0.3 < row["MIGS"] / row["TopDown"] < 3.0
+
+
+class TestTables45:
+    def test_shapes(self):
+        tables = table45.run(TINY, seed=0)
+        assert len(tables) == 2
+        for table in tables:
+            families = [row["Distribution"] for row in table.rows]
+            assert families == ["equal", "uniform", "exponential", "zipf"]
+            by_family = {row["Distribution"]: row for row in table.rows}
+            # Greedy always beats WIGS, and skew (zipf) helps it most.
+            for row in table.rows:
+                assert row["Greedy"] <= row["WIGS"] * 1.05
+            assert by_family["zipf"]["Greedy"] < by_family["equal"]["Greedy"]
+            # The oblivious baselines are flat across distributions.
+            wigs = [row["WIGS"] for row in table.rows]
+            assert max(wigs) - min(wigs) < 0.35 * max(wigs)
+
+    def test_dataset_filter(self):
+        tables = table45.run(TINY, seed=0, dataset_name="Amazon")
+        assert len(tables) == 1
+        assert "Amazon" in tables[0].title
+
+
+class TestFig4:
+    def test_converges_towards_offline(self):
+        panels = fig4.run(TINY, seed=0)
+        assert len(panels) == 2
+        for panel in panels:
+            online_name = next(
+                name for name in panel.lines if "online" in name
+            )
+            online = panel.lines[online_name]
+            offline = panel.lines["Given Real Dist."][0]
+            wigs = panel.lines["WIGS"][0]
+            assert offline < wigs
+            # The last block sits close to the offline cost...
+            assert online[-1] <= offline * 1.35
+            # ...and the curve does not *end* above where it started.
+            assert online[-1] <= online[0] * 1.15
+
+
+class TestFig5:
+    def test_cost_grows_with_a_and_caps_at_equal(self):
+        panels = fig5.run(TINY, seed=0)
+        for panel in panels:
+            greedy_name = next(n for n in panel.lines if n != "Equal Pr.")
+            costs = panel.lines[greedy_name]
+            equal = panel.lines["Equal Pr."][0]
+            assert costs[0] < costs[-1]  # more skew (small a) -> cheaper
+            assert costs[-1] <= equal * 1.1  # approaches the equal cost
+
+
+class TestFig6:
+    def test_naive_is_slower(self):
+        panels = fig6.run(scaled(TINY, fig6_nodes=60, fig6_per_depth=1), seed=0)
+        for panel in panels:
+            naive = sum(panel.lines["GreedyNaive"])
+            fast_name = next(
+                n for n in panel.lines if n.startswith("Greedy") and n != "GreedyNaive"
+            )
+            fast = sum(panel.lines[fast_name])
+            assert naive > fast
+
+
+class TestExample2:
+    def test_numbers(self):
+        table = example2.run()
+        by_policy = {row["Policy"]: row for row in table.rows}
+        assert by_policy["GreedyTree"]["Expected cost"] == pytest.approx(2.04)
+        assert by_policy["WIGS"]["Expected cost"] == pytest.approx(2.60)
+        assert by_policy["WIGS"]["Worst case"] == 4
+        assert by_policy["GreedyTree"]["Worst case"] == 6
+
+
+class TestRegistry:
+    def test_all_experiments_run_at_tiny_scale(self, capsys):
+        for name, entry in EXPERIMENTS.items():
+            entry(scaled(TINY, fig6_nodes=40, fig6_per_depth=1,
+                         online_objects=300, online_block=100,
+                         online_traces=1, trials=1), 0)
+            output = capsys.readouterr().out
+            assert output.strip()

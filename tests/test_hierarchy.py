@@ -1,0 +1,199 @@
+"""Unit tests for the Hierarchy substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import DUMMY_ROOT, Hierarchy
+from repro.exceptions import CycleError, HierarchyError
+
+from conftest import make_random_dag, make_random_tree
+
+
+class TestConstruction:
+    def test_basic_tree(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert h.n == 7
+        assert h.m == 6
+        assert h.root == "Vehicle"
+        assert h.is_tree
+        assert h.height == 3
+
+    def test_single_node(self):
+        h = Hierarchy([], nodes=["only"])
+        assert h.n == 1
+        assert h.root == "only"
+        assert h.is_leaf("only")
+        assert h.height == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(HierarchyError, match="at least one node"):
+            Hierarchy([])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(HierarchyError, match="self-loop"):
+            Hierarchy([("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(HierarchyError, match="duplicate edge"):
+            Hierarchy([("a", "b"), ("a", "b")])
+
+    def test_cycle_rejected_with_witness(self):
+        with pytest.raises(CycleError) as excinfo:
+            Hierarchy([("r", "a"), ("a", "b"), ("b", "c"), ("c", "a")])
+        assert set(excinfo.value.cycle) >= {"a", "b", "c"}
+
+    def test_two_node_cycle_has_no_root(self):
+        with pytest.raises(CycleError):
+            Hierarchy([("a", "b"), ("b", "a")])
+
+    def test_multiple_roots_rejected_by_default(self):
+        with pytest.raises(HierarchyError, match="roots"):
+            Hierarchy([("a", "c"), ("b", "c")], nodes=["a", "b"])
+
+    def test_dummy_root_added_on_request(self):
+        h = Hierarchy(
+            [("a", "c"), ("b", "c")], nodes=["a", "b"], ensure_single_root=True
+        )
+        assert h.root == DUMMY_ROOT
+        assert set(h.children(DUMMY_ROOT)) == {"a", "b"}
+        assert h.n == 4
+
+    def test_dummy_root_label_collision(self):
+        with pytest.raises(HierarchyError, match="dummy root"):
+            Hierarchy(
+                [(DUMMY_ROOT, "x"), ("y", "x")],
+                nodes=["y"],
+                ensure_single_root=True,
+            )
+
+    def test_unreachable_node_rejected(self):
+        # b -> c hangs off a second root; without the dummy root it errors,
+        # and an isolated extra node is unreachable even with one root.
+        with pytest.raises(HierarchyError):
+            Hierarchy([("a", "b")], nodes=["a", "isolated"])
+
+
+class TestAccessors:
+    def test_children_parents(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert set(h.children("Car")) == {"Nissan", "Honda", "Mercedes"}
+        assert h.parents("Car") == ("Vehicle",)
+        assert h.parents("Vehicle") == ()
+        assert h.out_degree("Nissan") == 2
+        assert h.in_degree("Maxima") == 1
+        assert h.max_out_degree == 3
+
+    def test_unknown_node(self, vehicle_hierarchy):
+        with pytest.raises(HierarchyError, match="unknown node"):
+            vehicle_hierarchy.children("Tesla")
+
+    def test_depth(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert h.depth("Vehicle") == 0
+        assert h.depth("Car") == 1
+        assert h.depth("Sentra") == 3
+
+    def test_leaves(self, vehicle_hierarchy):
+        assert set(vehicle_hierarchy.leaves()) == {
+            "Honda",
+            "Mercedes",
+            "Maxima",
+            "Sentra",
+        }
+
+    def test_contains_len_repr(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert "Car" in h
+        assert "Tesla" not in h
+        assert len(h) == 7
+        assert "tree" in repr(h)
+
+    def test_topological_order(self, diamond_dag):
+        order = diamond_dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in diamond_dag.edges():
+            assert pos[u] < pos[v]
+
+    def test_label_index_round_trip(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        for node in h.nodes:
+            assert h.label(h.index(node)) == node
+
+
+class TestReachability:
+    def test_descendants(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert h.descendants("Nissan") == {"Nissan", "Maxima", "Sentra"}
+        assert h.descendants("Nissan", include_self=False) == {
+            "Maxima",
+            "Sentra",
+        }
+        assert h.descendants("Sentra") == {"Sentra"}
+
+    def test_ancestors(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert h.ancestors("Sentra") == {"Sentra", "Nissan", "Car", "Vehicle"}
+        assert h.ancestors("Vehicle") == {"Vehicle"}
+
+    def test_reaches(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        assert h.reaches("Vehicle", "Sentra")
+        assert h.reaches("Car", "Car")
+        assert not h.reaches("Honda", "Sentra")
+        assert not h.reaches("Sentra", "Car")
+
+    def test_dag_shared_descendant(self, diamond_dag):
+        assert diamond_dag.descendants("a") == {"a", "c", "d"}
+        assert diamond_dag.descendants("b") == {"b", "c", "d"}
+        assert diamond_dag.ancestors("c") == {"c", "a", "b", "r"}
+        assert not diamond_dag.is_tree
+
+    def test_matrix_matches_bfs(self):
+        h = make_random_dag(40, seed=3)
+        matrix = h.reachability_matrix()
+        assert matrix is not None
+        for u in range(h.n):
+            reachable = {i for i in range(h.n) if matrix[u, i]}
+            assert reachable == set(h.descendants_ix(u))
+
+    def test_subtree_sizes(self, vehicle_hierarchy):
+        h = vehicle_hierarchy
+        sizes = h.subtree_sizes_ix()
+        assert sizes[h.index("Vehicle")] == 7
+        assert sizes[h.index("Nissan")] == 3
+        assert sizes[h.index("Maxima")] == 1
+
+    def test_subtree_sizes_dag_counts_shared_once(self, diamond_dag):
+        sizes = diamond_dag.subtree_sizes_ix()
+        assert sizes[diamond_dag.index("r")] == 5
+        assert sizes[diamond_dag.index("a")] == 3  # a, c, d
+
+    def test_reach_weight_vector_tree_vs_dag(self):
+        for h in (make_random_tree(30, 1), make_random_dag(30, 2)):
+            weights = np.arange(1.0, h.n + 1.0)
+            vector = h.reach_weight_vector(weights)
+            for v in range(h.n):
+                expected = sum(weights[d] for d in h.descendants_ix(v))
+                assert vector[v] == pytest.approx(expected)
+
+    def test_reach_weight_vector_length_check(self, diamond_dag):
+        with pytest.raises(HierarchyError, match="length"):
+            diamond_dag.reach_weight_vector(np.ones(3))
+
+
+class TestConversions:
+    def test_networkx_round_trip(self, vehicle_hierarchy):
+        graph = vehicle_hierarchy.to_networkx()
+        back = Hierarchy.from_networkx(graph)
+        assert set(back.edges()) == set(vehicle_hierarchy.edges())
+        assert back.root == vehicle_hierarchy.root
+
+    def test_from_parent_map(self):
+        h = Hierarchy.from_parent_map({"r": None, "a": "r", "b": "a"})
+        assert h.root == "r"
+        assert h.depth("b") == 2
+
+    def test_edges_complete(self, diamond_dag):
+        assert len(diamond_dag.edges()) == diamond_dag.m

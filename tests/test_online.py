@@ -1,0 +1,141 @@
+"""Unit tests for online distribution learning and labelling simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError, SearchError
+from repro.online import (
+    EmpiricalLearner,
+    average_runs,
+    simulate_online_labeling,
+)
+from repro.policies import GreedyTreePolicy
+from repro.taxonomy import Catalog, amazon_like
+
+from conftest import make_random_tree
+
+
+class TestLearner:
+    def test_starts_uniform(self, vehicle_hierarchy):
+        learner = EmpiricalLearner(vehicle_hierarchy)
+        dist = learner.snapshot()
+        assert dist.p("Car") == pytest.approx(1 / 7)
+
+    def test_counts_accumulate(self, vehicle_hierarchy):
+        learner = EmpiricalLearner(vehicle_hierarchy, smoothing=1.0)
+        for _ in range(10):
+            learner.observe("Maxima")
+        assert learner.count("Maxima") == 10
+        assert learner.num_observed == 10
+        dist = learner.snapshot()
+        assert dist.p("Maxima") == pytest.approx(11 / 17)
+
+    def test_converges_to_truth(self, vehicle_hierarchy, rng):
+        truth = {"Maxima": 0.7, "Sentra": 0.3}
+        learner = EmpiricalLearner(vehicle_hierarchy, smoothing=0.5)
+        for _ in range(5000):
+            learner.observe("Maxima" if rng.random() < 0.7 else "Sentra")
+        dist = learner.snapshot()
+        assert dist.p("Maxima") == pytest.approx(0.7, abs=0.03)
+
+    def test_rejects_unknown_category(self, vehicle_hierarchy):
+        learner = EmpiricalLearner(vehicle_hierarchy)
+        with pytest.raises(DistributionError):
+            learner.observe("Tesla")
+
+    def test_rejects_zero_smoothing(self, vehicle_hierarchy):
+        with pytest.raises(DistributionError):
+            EmpiricalLearner(vehicle_hierarchy, smoothing=0.0)
+
+
+class TestSimulation:
+    def test_blocks_and_correctness(self, vehicle_hierarchy, rng):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 30, "Sentra": 20})
+        stream = catalog.stream(rng)
+        result = simulate_online_labeling(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            stream,
+            block_size=10,
+        )
+        assert len(result.block_costs) == 5
+        assert result.total_objects == 50
+        assert all(c > 0 for c in result.block_costs)
+
+    def test_partial_last_block(self, vehicle_hierarchy, rng):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 7})
+        result = simulate_online_labeling(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            catalog.stream(rng),
+            block_size=5,
+        )
+        assert len(result.block_costs) == 2
+
+    def test_validation(self, vehicle_hierarchy):
+        with pytest.raises(SearchError):
+            simulate_online_labeling(
+                GreedyTreePolicy(), vehicle_hierarchy, [], block_size=0
+            )
+        with pytest.raises(SearchError):
+            simulate_online_labeling(
+                GreedyTreePolicy(),
+                vehicle_hierarchy,
+                [],
+                block_size=5,
+                refresh_every=0,
+            )
+
+    def test_learning_reduces_cost(self):
+        """The Fig. 4 effect: later blocks are cheaper than early ones."""
+        h = amazon_like(300, seed=3)
+        rng = np.random.default_rng(4)
+        # A very skewed corpus: learning it matters.
+        nodes = list(h.nodes)
+        counts = {nodes[10]: 800, nodes[40]: 150, nodes[70]: 50}
+        catalog = Catalog(h, counts)
+        result = simulate_online_labeling(
+            GreedyTreePolicy(), h, catalog.stream(rng), block_size=100
+        )
+        assert result.block_costs[-1] < result.block_costs[0]
+
+    def test_refresh_every_changes_little(self, rng):
+        h = make_random_tree(60, seed=8)
+        counts = {v: 3 for v in list(h.nodes)[:30]}
+        catalog = Catalog(h, counts)
+        stream = catalog.stream(rng)
+        every = simulate_online_labeling(
+            GreedyTreePolicy(), h, stream, block_size=30, refresh_every=1
+        )
+        batched = simulate_online_labeling(
+            GreedyTreePolicy(), h, stream, block_size=30, refresh_every=10
+        )
+        assert every.overall_cost == pytest.approx(
+            batched.overall_cost, rel=0.25
+        )
+
+
+class TestAverageRuns:
+    def test_averages_aligned_blocks(self, vehicle_hierarchy, rng):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 30, "Sentra": 30})
+        runs = [
+            simulate_online_labeling(
+                GreedyTreePolicy(),
+                vehicle_hierarchy,
+                catalog.stream(np.random.default_rng(i)),
+                block_size=20,
+            )
+            for i in range(3)
+        ]
+        curve = average_runs(runs)
+        assert len(curve) == 3
+        for i, value in enumerate(curve):
+            assert value == pytest.approx(
+                sum(r.block_costs[i] for r in runs) / 3
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SearchError):
+            average_runs([])

@@ -1,0 +1,179 @@
+"""Failure-injection tests: noisy oracles, dead ends, and mitigations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ExactOracle, NoisyOracle, Oracle
+from repro.core.session import run_search
+from repro.exceptions import SearchError
+from repro.policies import (
+    GreedyTreePolicy,
+    RandomPolicy,
+    repeated_search_majority,
+)
+from repro.experiments import noise
+from repro.experiments.scale import TINY, scaled
+
+from conftest import make_random_tree, random_distribution
+
+
+class AdversarialOracle(Oracle):
+    """Answers *no* to everything — maximally misleading."""
+
+    def answer(self, query):
+        return False
+
+
+class TestFailureInjection:
+    def test_all_no_oracle_converges_to_some_label(self, vehicle_hierarchy):
+        """Even nonsense answers terminate: each no removes candidates."""
+        result = run_search(
+            GreedyTreePolicy(), AdversarialOracle(), vehicle_hierarchy
+        )
+        # All-no answers eliminate every queried subtree; the search
+        # degenerates to the root.
+        assert result.returned == "Vehicle"
+
+    def test_transient_noise_can_mislabel(self):
+        h = make_random_tree(40, seed=2)
+        dist = random_distribution(h, 2)
+        wrong = 0
+        for i, target in enumerate(h.nodes):
+            oracle = NoisyOracle(
+                ExactOracle(h, target), 0.3, np.random.default_rng(i)
+            )
+            try:
+                result = run_search(
+                    GreedyTreePolicy(), oracle, h, dist, max_queries=4 * h.n
+                )
+            except SearchError:
+                wrong += 1
+                continue
+            wrong += result.returned != target
+        assert wrong > 0  # noise at 30% must break something
+
+    def test_noise_never_hangs(self):
+        """The budget guard bounds every noisy search."""
+        h = make_random_tree(30, seed=3)
+        dist = random_distribution(h, 3)
+        for i in range(20):
+            oracle = NoisyOracle(
+                ExactOracle(h, h.label(i % h.n)),
+                0.4,
+                np.random.default_rng(i),
+            )
+            try:
+                result = run_search(
+                    GreedyTreePolicy(), oracle, h, dist, max_queries=3 * h.n
+                )
+            except SearchError:
+                continue
+            assert result.num_queries <= 3 * h.n
+
+
+class TestRepeatedSearchMajority:
+    def test_validates_repeats(self, vehicle_hierarchy):
+        with pytest.raises(SearchError, match="repeats"):
+            repeated_search_majority(
+                GreedyTreePolicy(),
+                lambda: ExactOracle(vehicle_hierarchy, "Car"),
+                vehicle_hierarchy,
+                repeats=0,
+            )
+
+    def test_clean_oracle_single_run(self, vehicle_hierarchy, vehicle_distribution):
+        label, spent = repeated_search_majority(
+            GreedyTreePolicy(),
+            lambda: ExactOracle(vehicle_hierarchy, "Honda"),
+            vehicle_hierarchy,
+            vehicle_distribution,
+            repeats=1,
+        )
+        assert label == "Honda"
+        assert spent > 0
+
+    def test_improves_accuracy_under_transient_noise(self):
+        h = make_random_tree(40, seed=5)
+        dist = random_distribution(h, 5)
+        rng = np.random.default_rng(7)
+        targets = [h.label(int(rng.integers(0, h.n))) for _ in range(40)]
+
+        def accuracy(repeats):
+            hits = 0
+            for target in targets:
+                def oracle_factory():
+                    return NoisyOracle(
+                        ExactOracle(h, target),
+                        0.12,
+                        np.random.default_rng(int(rng.integers(2**32))),
+                    )
+
+                try:
+                    label, _ = repeated_search_majority(
+                        GreedyTreePolicy(),
+                        oracle_factory,
+                        h,
+                        dist,
+                        repeats=repeats,
+                        max_queries_per_run=4 * h.n,
+                    )
+                except SearchError:
+                    continue
+                hits += label == target
+            return hits / len(targets)
+
+        assert accuracy(5) > accuracy(1)
+
+    def test_raises_when_every_run_dead_ends(self, vehicle_hierarchy):
+        class ExplodingOracle(Oracle):
+            def answer(self, query):
+                raise SearchError("worker pool empty")
+
+        with pytest.raises(SearchError, match="dead-ended"):
+            repeated_search_majority(
+                GreedyTreePolicy(),
+                ExplodingOracle,
+                vehicle_hierarchy,
+                repeats=3,
+            )
+
+
+class TestRandomPolicyBaseline:
+    def test_sound(self, vehicle_hierarchy):
+        policy = RandomPolicy(seed=3)
+        for target in vehicle_hierarchy.nodes:
+            oracle = ExactOracle(vehicle_hierarchy, target)
+            assert run_search(policy, oracle, vehicle_hierarchy).returned == target
+
+    def test_deterministic_per_seed(self, vehicle_hierarchy):
+        a = run_search(
+            RandomPolicy(seed=3),
+            ExactOracle(vehicle_hierarchy, "Honda"),
+            vehicle_hierarchy,
+        )
+        b = run_search(
+            RandomPolicy(seed=3),
+            ExactOracle(vehicle_hierarchy, "Honda"),
+            vehicle_hierarchy,
+        )
+        assert a.queries() == b.queries()
+
+    def test_greedy_beats_random(self):
+        from repro.evaluation import evaluate_expected_cost
+
+        h = make_random_tree(60, seed=6)
+        dist = random_distribution(h, 6)
+        greedy = evaluate_expected_cost(GreedyTreePolicy(), h, dist)
+        random_cost = evaluate_expected_cost(RandomPolicy(seed=1), h, dist)
+        assert greedy.expected_queries < random_cost.expected_queries
+
+
+class TestNoiseExperiment:
+    def test_runs_at_tiny_scale(self):
+        table = noise.run(scaled(TINY, max_targets=30), seed=0)
+        strategies = [row["Strategy"] for row in table.rows]
+        assert "clean oracle" in strategies
+        clean = next(r for r in table.rows if r["Strategy"] == "clean oracle")
+        assert clean["Accuracy"] == "100.0%"

@@ -1,0 +1,118 @@
+"""Unit tests for the FrameworkIGS driver and the policy protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import TableCost
+from repro.core.oracle import ExactOracle
+from repro.core.policy import Policy
+from repro.core.session import run_search, search_for_target
+from repro.exceptions import BudgetExceededError, PolicyError
+from repro.policies import GreedyTreePolicy, TopDownPolicy
+
+
+class LoopingPolicy(Policy):
+    """A broken policy that re-asks the same question forever."""
+
+    name = "looper"
+
+    def _reset_state(self):
+        self._finished = False
+
+    def done(self):
+        return self._finished
+
+    def result(self):
+        return self.hierarchy.root
+
+    def _select_query(self):
+        return self.hierarchy.children(self.hierarchy.root)[0]
+
+    def _apply_answer(self, query, answer):
+        pass  # never converges
+
+
+class TestRunSearch:
+    def test_transcript_and_cost(self, vehicle_hierarchy, vehicle_distribution):
+        policy = GreedyTreePolicy()
+        result = search_for_target(
+            policy, vehicle_hierarchy, "Sentra", vehicle_distribution
+        )
+        assert result.returned == "Sentra"
+        assert result.num_queries == len(result.transcript)
+        assert result.total_price == result.num_queries  # unit prices
+        # Every transcript answer matches the ground truth.
+        truth = vehicle_hierarchy.ancestors("Sentra")
+        for query, answer in result.transcript:
+            assert answer == (query in truth)
+
+    def test_price_uses_cost_model(self, vehicle_hierarchy, vehicle_distribution):
+        model = TableCost({}, default=2.5)
+        result = search_for_target(
+            policy=GreedyTreePolicy(),
+            hierarchy=vehicle_hierarchy,
+            target="Maxima",
+            distribution=vehicle_distribution,
+            cost_model=model,
+        )
+        assert result.total_price == pytest.approx(2.5 * result.num_queries)
+
+    def test_budget_guard(self, vehicle_hierarchy):
+        oracle = ExactOracle(vehicle_hierarchy, "Sentra")
+        with pytest.raises(BudgetExceededError):
+            run_search(
+                LoopingPolicy(), oracle, vehicle_hierarchy, max_queries=25
+            )
+
+    def test_single_node_hierarchy_needs_no_queries(self):
+        from repro.core.hierarchy import Hierarchy
+
+        h = Hierarchy([], nodes=["only"])
+        result = search_for_target(TopDownPolicy(), h, "only")
+        assert result.returned == "only"
+        assert result.num_queries == 0
+
+    def test_queries_helper(self, vehicle_hierarchy, vehicle_distribution):
+        result = search_for_target(
+            GreedyTreePolicy(), vehicle_hierarchy, "Honda", vehicle_distribution
+        )
+        assert result.queries() == tuple(q for q, _ in result.transcript)
+
+
+class TestPolicyProtocol:
+    def test_reset_required(self):
+        policy = GreedyTreePolicy()
+        with pytest.raises(PolicyError, match="reset"):
+            policy.propose()
+
+    def test_observe_before_propose(self, vehicle_hierarchy):
+        policy = GreedyTreePolicy()
+        policy.reset(vehicle_hierarchy)
+        with pytest.raises(PolicyError, match="before propose"):
+            policy.observe(True)
+
+    def test_propose_idempotent(self, vehicle_hierarchy, vehicle_distribution):
+        policy = GreedyTreePolicy()
+        policy.reset(vehicle_hierarchy, vehicle_distribution)
+        assert policy.propose() == policy.propose()
+
+    def test_propose_after_done(self, vehicle_hierarchy, vehicle_distribution):
+        policy = GreedyTreePolicy()
+        result = search_for_target(
+            policy, vehicle_hierarchy, "Sentra", vehicle_distribution
+        )
+        assert result.returned == "Sentra"
+        with pytest.raises(PolicyError, match="finished"):
+            policy.propose()
+
+    def test_default_distribution_is_equal(self, vehicle_hierarchy):
+        policy = GreedyTreePolicy()
+        policy.reset(vehicle_hierarchy)
+        assert policy.distribution is not None
+        assert policy.distribution.p("Car") == pytest.approx(1 / 7)
+
+    def test_oblivious_policy_skips_default(self, vehicle_hierarchy):
+        policy = TopDownPolicy()
+        policy.reset(vehicle_hierarchy)
+        assert policy.distribution is None

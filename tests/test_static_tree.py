@@ -1,0 +1,103 @@
+"""Tests for decision-tree serialisation and precompiled policies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.decision_tree import DecisionTree, build_decision_tree
+from repro.core.session import search_for_target
+from repro.exceptions import SearchError
+from repro.policies import GreedyTreePolicy, GreedyDagPolicy, StaticTreePolicy
+
+from conftest import make_random_dag, make_random_tree, random_distribution
+
+
+class TestSerialisation:
+    def test_round_trip(self, vehicle_hierarchy, vehicle_distribution):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        payload = json.loads(json.dumps(tree.to_dict()))
+        back = DecisionTree.from_dict(payload, vehicle_hierarchy)
+        back.validate()
+        assert back.leaf_depths() == tree.leaf_depths()
+        assert back.expected_cost(vehicle_distribution) == pytest.approx(
+            tree.expected_cost(vehicle_distribution)
+        )
+
+    def test_round_trip_random_dags(self):
+        for seed in range(3):
+            h = make_random_dag(15, seed=seed)
+            dist = random_distribution(h, seed)
+            tree = build_decision_tree(GreedyDagPolicy, h, dist)
+            back = DecisionTree.from_dict(tree.to_dict(), h)
+            assert back.leaf_depths() == tree.leaf_depths()
+
+    def test_deep_tree_serialises_iteratively(self):
+        """A path hierarchy yields a deep tree; no recursion limit issues."""
+        from repro.taxonomy.generators import path_graph
+        from repro.policies import TopDownPolicy
+
+        h = path_graph(300)
+        tree = build_decision_tree(TopDownPolicy, h)
+        back = DecisionTree.from_dict(tree.to_dict(), h)
+        assert back.worst_case_cost() == tree.worst_case_cost()
+
+    def test_malformed_payloads(self, vehicle_hierarchy):
+        with pytest.raises(SearchError, match="malformed"):
+            DecisionTree.from_dict({"nodes": []}, vehicle_hierarchy)
+        with pytest.raises(SearchError, match="malformed"):
+            DecisionTree.from_dict(
+                {"root": 1, "nodes": [{"query": "x", "yes": 2, "no": 0}]},
+                vehicle_hierarchy,
+            )
+
+
+class TestStaticTreePolicy:
+    def test_identical_transcripts(self, vehicle_hierarchy, vehicle_distribution):
+        """The compiled policy asks exactly the original's questions."""
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        static = StaticTreePolicy(tree)
+        live = GreedyTreePolicy()
+        for target in vehicle_hierarchy.nodes:
+            a = search_for_target(
+                static, vehicle_hierarchy, target, vehicle_distribution
+            )
+            b = search_for_target(
+                live, vehicle_hierarchy, target, vehicle_distribution
+            )
+            assert a.returned == b.returned == target
+            assert a.queries() == b.queries()
+
+    def test_works_after_reload(self, vehicle_hierarchy, vehicle_distribution):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        reloaded = DecisionTree.from_dict(tree.to_dict(), vehicle_hierarchy)
+        static = StaticTreePolicy(reloaded)
+        for target in vehicle_hierarchy.nodes:
+            result = search_for_target(static, vehicle_hierarchy, target)
+            assert result.returned == target
+
+    def test_rejects_mismatched_hierarchy(self, vehicle_hierarchy, diamond_dag):
+        tree = build_decision_tree(GreedyTreePolicy, vehicle_hierarchy)
+        static = StaticTreePolicy(tree)
+        with pytest.raises(SearchError, match="missing"):
+            static.reset(diamond_dag)
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            h = make_random_tree(25, seed=seed)
+            dist = random_distribution(h, seed)
+            static = StaticTreePolicy(
+                build_decision_tree(GreedyTreePolicy, h, dist)
+            )
+            for target in h.nodes:
+                assert (
+                    search_for_target(static, h, target, dist).returned
+                    == target
+                )

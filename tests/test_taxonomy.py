@@ -1,0 +1,263 @@
+"""Unit tests for the taxonomy substrate (generators, catalogs, parsers, io)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.taxonomy import (
+    Catalog,
+    TaxonomyStats,
+    amazon_catalog,
+    amazon_like,
+    balanced_tree,
+    imagenet_catalog,
+    imagenet_like,
+    load_catalog,
+    load_edge_list,
+    load_hierarchy,
+    parse_category_paths,
+    parse_structure_xml,
+    path_graph,
+    random_dag,
+    random_tree,
+    save_catalog,
+    save_edge_list,
+    save_hierarchy,
+    star_graph,
+)
+from repro.taxonomy._sampling import FenwickSampler
+
+
+class TestFenwickSampler:
+    def test_follows_weights(self, rng):
+        sampler = FenwickSampler(3)
+        sampler.set_weight(0, 1.0)
+        sampler.set_weight(1, 3.0)
+        sampler.set_weight(2, 0.0)
+        draws = Counter(sampler.sample(rng) for _ in range(4000))
+        assert draws[2] == 0
+        assert 0.2 < draws[0] / 4000 < 0.3
+
+    def test_dynamic_updates(self, rng):
+        sampler = FenwickSampler(2)
+        sampler.set_weight(0, 1.0)
+        assert sampler.sample(rng) == 0
+        sampler.set_weight(0, 0.0)
+        sampler.set_weight(1, 1.0)
+        assert sampler.sample(rng) == 1
+        assert sampler.total == 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ReproError):
+            FenwickSampler(0)
+        sampler = FenwickSampler(2)
+        with pytest.raises(ReproError):
+            sampler.set_weight(5, 1.0)
+        with pytest.raises(ReproError):
+            sampler.set_weight(0, -1.0)
+        with pytest.raises(ReproError):
+            sampler.sample(rng)  # all-zero
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 50, 300])
+    def test_random_tree_shape(self, n):
+        h = random_tree(n, np.random.default_rng(5), max_depth=6)
+        assert h.n == n
+        assert h.is_tree
+        assert h.height <= 6
+
+    def test_random_tree_deterministic_per_seed(self):
+        a = random_tree(40, np.random.default_rng(3))
+        b = random_tree(40, np.random.default_rng(3))
+        assert a.edges() == b.edges()
+
+    def test_random_dag_has_multi_parents(self):
+        h = random_dag(120, np.random.default_rng(5), extra_edge_fraction=0.2)
+        assert not h.is_tree
+        assert any(h.in_degree(v) > 1 for v in h.nodes)
+        assert h.m > h.n - 1
+
+    def test_fixed_shapes(self):
+        assert balanced_tree(2, 3).n == 15
+        assert path_graph(5).height == 4
+        assert star_graph(7).max_out_degree == 6
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            random_tree(0, np.random.default_rng(0))
+        with pytest.raises(ReproError):
+            path_graph(0)
+
+    def test_amazon_like_matches_table2_shape(self):
+        h = amazon_like(1500, seed=7)
+        assert h.is_tree
+        assert h.n == 1500
+        assert 6 <= h.height <= 10
+        assert h.max_out_degree >= 15  # hub-heavy branching
+
+    def test_imagenet_like_matches_table2_shape(self):
+        h = imagenet_like(1200, seed=11)
+        assert not h.is_tree
+        assert h.n == 1200
+        assert h.height <= 16
+
+
+class TestCatalog:
+    def test_counts_and_total(self, vehicle_hierarchy):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 40, "Sentra": 40, "Car": 0})
+        assert catalog.num_objects == 80
+        assert "Car" not in catalog.counts  # zero counts dropped
+
+    def test_rejects_unknown_category(self, vehicle_hierarchy):
+        with pytest.raises(ReproError, match="not in hierarchy"):
+            Catalog(vehicle_hierarchy, {"Tesla": 5})
+
+    def test_rejects_negative_and_empty(self, vehicle_hierarchy):
+        with pytest.raises(ReproError, match="negative"):
+            Catalog(vehicle_hierarchy, {"Car": -1})
+        with pytest.raises(ReproError, match="no objects"):
+            Catalog(vehicle_hierarchy, {"Car": 0})
+
+    def test_to_distribution(self, vehicle_hierarchy):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 3, "Sentra": 1})
+        dist = catalog.to_distribution()
+        assert dist.p("Maxima") == pytest.approx(0.75)
+
+    def test_stream_is_a_permutation_of_the_corpus(self, vehicle_hierarchy, rng):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 5, "Sentra": 3})
+        stream = catalog.stream(rng)
+        assert Counter(stream) == {"Maxima": 5, "Sentra": 3}
+
+    def test_stream_truncation(self, vehicle_hierarchy, rng):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 50, "Sentra": 50})
+        assert len(catalog.stream(rng, max_objects=10)) == 10
+
+    def test_synthetic_totals(self, rng):
+        h = random_tree(80, rng)
+        catalog = Catalog.synthetic(h, rng, num_objects=5000)
+        assert catalog.num_objects == 5000
+
+    def test_synthetic_leaf_bias(self, rng):
+        h = amazon_like(300, seed=1)
+        catalog = amazon_catalog(h, num_objects=30_000)
+        leaves = set(h.leaves())
+        leaf_mass = sum(c for n, c in catalog.counts.items() if n in leaves)
+        assert leaf_mass > catalog.num_objects * 0.5
+
+    def test_synthetic_validation(self, rng):
+        h = random_tree(10, rng)
+        with pytest.raises(ReproError):
+            Catalog.synthetic(h, rng, num_objects=0)
+        with pytest.raises(ReproError):
+            Catalog.synthetic(h, rng, coverage=0.0)
+
+
+class TestParsers:
+    def test_category_paths_union(self):
+        h = parse_category_paths(
+            [
+                "Electronics/Camera/DSLR",
+                "Electronics/Camera/Mirrorless",
+                ["Books", "Fiction"],
+            ]
+        )
+        assert h.root == "amazon"
+        assert h.is_tree
+        # Namespaced labels keep same-named categories distinct.
+        assert "Electronics/Camera" in h
+        assert h.depth("Electronics/Camera/DSLR") == 3
+
+    def test_category_paths_duplicate_names_distinct(self):
+        h = parse_category_paths(["A/Accessories", "B/Accessories"])
+        assert "A/Accessories" in h and "B/Accessories" in h
+
+    def test_category_paths_empty(self):
+        with pytest.raises(ReproError, match="no category paths"):
+            parse_category_paths([])
+
+    def test_structure_xml(self):
+        xml = """
+        <ImageNetStructure>
+          <releaseData>fall2011</releaseData>
+          <synset wnid="root">
+            <synset wnid="animal">
+              <synset wnid="dog"/>
+              <synset wnid="pet"><synset wnid="dog"/></synset>
+            </synset>
+            <synset wnid="fa11misc">
+              <synset wnid="junk"/>
+            </synset>
+          </synset>
+        </ImageNetStructure>
+        """
+        h = parse_structure_xml(xml)
+        assert h.root == "ImageNet"
+        assert not h.is_tree  # "dog" has two parents
+        assert set(h.parents("dog")) == {"animal", "pet"}
+        assert "fa11misc" not in h
+        assert "junk" not in h
+
+    def test_structure_xml_invalid(self):
+        with pytest.raises(ReproError, match="invalid structure XML"):
+            parse_structure_xml("<unclosed>")
+        with pytest.raises(ReproError, match="no synsets"):
+            parse_structure_xml("<root><foo/></root>")
+
+
+class TestIO:
+    def test_hierarchy_json_round_trip(self, tmp_path, vehicle_hierarchy):
+        path = tmp_path / "h.json"
+        save_hierarchy(vehicle_hierarchy, path)
+        back = load_hierarchy(path)
+        assert set(back.edges()) == set(vehicle_hierarchy.edges())
+
+    def test_edge_list_round_trip(self, tmp_path, vehicle_hierarchy):
+        path = tmp_path / "h.tsv"
+        save_edge_list(vehicle_hierarchy, path)
+        back = load_edge_list(path)
+        assert set(back.edges()) == set(vehicle_hierarchy.edges())
+
+    def test_edge_list_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a b c\n")
+        with pytest.raises(ReproError, match="expected"):
+            load_edge_list(path)
+
+    def test_distribution_round_trip(self, tmp_path, vehicle_distribution):
+        from repro.taxonomy import load_distribution, save_distribution
+
+        path = tmp_path / "d.json"
+        save_distribution(vehicle_distribution, path)
+        back = load_distribution(path)
+        for node, p in vehicle_distribution.items():
+            assert back.p(node) == pytest.approx(p)
+
+    def test_distribution_malformed(self, tmp_path):
+        from repro.taxonomy import load_distribution
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1}')
+        with pytest.raises(ReproError, match="malformed distribution"):
+            load_distribution(path)
+
+    def test_catalog_round_trip(self, tmp_path, vehicle_hierarchy):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 4, "Car": 2})
+        path = tmp_path / "c.json"
+        save_catalog(catalog, path)
+        back = load_catalog(vehicle_hierarchy, path)
+        assert back.counts == catalog.counts
+
+
+class TestStats:
+    def test_table2_row(self, vehicle_hierarchy):
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 40, "Sentra": 40})
+        stats = TaxonomyStats.of("Vehicles", vehicle_hierarchy, catalog)
+        row = stats.as_row()
+        assert row["#nodes"] == 7
+        assert row["Type"] == "Tree"
+        assert row["#objects"] == 80

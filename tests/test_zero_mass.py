@@ -1,0 +1,106 @@
+"""Zero-probability regions: every policy must stay sound and terminating.
+
+Real catalogs leave many categories empty (the paper's corpora do), so the
+distribution has large zero-mass regions.  Probability-guided policies hit
+their degenerate code paths there (size fallbacks, zero-weight middle
+points); these tests pin soundness, and a hypothesis property sweeps random
+zero patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.session import search_for_target
+from repro.policies import (
+    CostSensitiveGreedyPolicy,
+    GreedyDagPolicy,
+    GreedyNaivePolicy,
+    GreedyTreePolicy,
+    MigsPolicy,
+    batched_search_for_target,
+)
+
+from conftest import make_random_dag, make_random_tree, random_distribution
+
+
+TREE_POLICIES = [GreedyTreePolicy, GreedyNaivePolicy, CostSensitiveGreedyPolicy]
+DAG_POLICIES = [GreedyDagPolicy, GreedyNaivePolicy, MigsPolicy]
+
+
+class TestZeroMassRegions:
+    @pytest.mark.parametrize("factory", TREE_POLICIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_trees(self, factory, seed):
+        h = make_random_tree(20, seed=seed)
+        dist = random_distribution(h, seed, zeros=True)
+        policy = factory()
+        for target in h.nodes:  # including zero-probability targets
+            result = search_for_target(policy, h, target, dist)
+            assert result.returned == target
+            assert result.num_queries <= 2 * h.n
+
+    @pytest.mark.parametrize("factory", DAG_POLICIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dags(self, factory, seed):
+        h = make_random_dag(18, seed=seed)
+        dist = random_distribution(h, seed, zeros=True)
+        policy = factory()
+        for target in h.nodes:
+            result = search_for_target(policy, h, target, dist)
+            assert result.returned == target
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched(self, seed):
+        h = make_random_tree(20, seed=seed)
+        dist = random_distribution(h, seed, zeros=True)
+        for target in h.nodes:
+            result = batched_search_for_target(h, target, dist, k=3)
+            assert result.returned == target
+
+    def test_point_mass_on_root(self, vehicle_hierarchy):
+        """All mass on the root: the search must still separate descendants."""
+        dist = TargetDistribution({"Vehicle": 1.0})
+        for factory in (GreedyTreePolicy, GreedyDagPolicy):
+            policy = factory()
+            for target in vehicle_hierarchy.nodes:
+                result = search_for_target(
+                    policy, vehicle_hierarchy, target, dist
+                )
+                assert result.returned == target
+
+    def test_point_mass_on_leaf_found_quickly(self, vehicle_hierarchy):
+        # With a point mass every split ties at |2w - W| = W (all nodes are
+        # middle points), but the heavy-path walk still descends towards the
+        # mass, so the likely target is identified within its depth.
+        dist = TargetDistribution({"Sentra": 1.0})
+        result = search_for_target(
+            GreedyTreePolicy(), vehicle_hierarchy, "Sentra", dist
+        )
+        assert result.num_queries <= vehicle_hierarchy.depth("Sentra")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    zero_pattern=st.integers(min_value=0, max_value=2**18 - 1),
+)
+def test_property_random_zero_patterns(seed, zero_pattern):
+    """Arbitrary zero masks keep GreedyDAG sound on random DAGs."""
+    h = make_random_dag(14, seed=seed % 500)
+    values = {}
+    gen = np.random.default_rng(seed)
+    for i, node in enumerate(h.nodes):
+        zero = (zero_pattern >> (i % 18)) & 1
+        values[node] = 0.0 if zero else float(gen.uniform(0.1, 1.0))
+    if all(v == 0.0 for v in values.values()):
+        values[h.root] = 1.0
+    dist = TargetDistribution(values)
+    policy = GreedyDagPolicy()
+    for target in h.nodes:
+        result = search_for_target(policy, h, target, dist)
+        assert result.returned == target
