@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.oracle import ExactOracle
 from repro.core.session import run_search
+from repro.engine import simulate_all_targets
 from repro.policies import (
     GreedyDagPolicy,
     GreedyTreePolicy,
@@ -87,3 +88,25 @@ def test_greedy_dag_reset_cached_1k(benchmark, dag_setup):
 
 def test_hierarchy_construction_1k(benchmark):
     benchmark(amazon_like, _N, 7)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [GreedyTreePolicy, WigsPolicy, TopDownPolicy],
+    ids=lambda f: f.__name__,
+)
+def test_engine_all_targets_tree_1k(benchmark, tree_setup, factory):
+    """One engine pass over every target (the expected-cost hot path)."""
+    hierarchy, dist, _ = tree_setup
+    policy = factory()
+    result = benchmark(simulate_all_targets, policy, hierarchy, dist)
+    assert result.method == "vector"
+    assert result.num_targets == hierarchy.n
+
+
+def test_engine_all_targets_dag_1k(benchmark, dag_setup):
+    hierarchy, dist, _ = dag_setup
+    policy = GreedyDagPolicy()
+    result = benchmark(simulate_all_targets, policy, hierarchy, dist)
+    assert result.method == "vector"
+    assert result.worst_case() > 0

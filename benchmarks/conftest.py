@@ -11,12 +11,7 @@ sized so the whole suite finishes in a few minutes.
 from __future__ import annotations
 
 import os
-import sys
 from pathlib import Path
-
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
 
 import pytest
 

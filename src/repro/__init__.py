@@ -35,6 +35,7 @@ from repro.core import (
     run_search,
     search_for_target,
 )
+from repro.engine import EngineResult, VectorPolicy, simulate_all_targets
 from repro.exceptions import (
     BudgetExceededError,
     CostModelError,
@@ -57,6 +58,7 @@ __all__ = [
     "CycleError",
     "DecisionTree",
     "DistributionError",
+    "EngineResult",
     "ExactOracle",
     "Hierarchy",
     "HierarchyError",
@@ -73,9 +75,11 @@ __all__ = [
     "TableCost",
     "TargetDistribution",
     "UnitCost",
+    "VectorPolicy",
     "build_decision_tree",
     "random_costs",
     "run_search",
     "search_for_target",
+    "simulate_all_targets",
     "__version__",
 ]

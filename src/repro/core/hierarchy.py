@@ -72,6 +72,7 @@ class Hierarchy:
         "_reach_matrix",
         "_subtree_sizes",
         "_is_tree",
+        "_intervals",
     )
 
     def __init__(
@@ -161,6 +162,7 @@ class Hierarchy:
         self._anc_cache: dict[int, frozenset[int]] = {}
         self._reach_matrix: np.ndarray | None = None
         self._subtree_sizes: list[int] | None = None
+        self._intervals: tuple[np.ndarray, np.ndarray] | None = None
         self._is_tree = all(
             len(self._parents[i]) == 1 for i in range(n) if i != root
         )
@@ -345,6 +347,40 @@ class Hierarchy:
                     sizes = [len(self.descendants_ix(v)) for v in range(self.n)]
             self._subtree_sizes = sizes
         return list(self._subtree_sizes)
+
+    def tree_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Preorder entry/exit times: the O(1) reachability index for trees.
+
+        Returns ``(tin, tout)`` aligned to node indices with the invariant
+        ``u reaches z  iff  tin[u] <= tin[z] < tout[u]`` — so a *vector* of
+        targets can be split on a query with two numpy comparisons, which is
+        what :mod:`repro.engine` uses instead of per-target set lookups.
+        Built once (O(n)) and cached.  Raises on DAGs, where a single
+        interval per node cannot encode reachability.
+        """
+        if not self.is_tree:
+            raise HierarchyError(
+                "tree_intervals() requires a tree; DAG reachability needs "
+                "the matrix or descendant sets"
+            )
+        if self._intervals is None:
+            n = self.n
+            tin = np.zeros(n, dtype=np.int64)
+            tout = np.zeros(n, dtype=np.int64)
+            timer = 0
+            stack: list[tuple[int, bool]] = [(self._root, False)]
+            while stack:
+                v, expanded = stack.pop()
+                if expanded:
+                    tout[v] = timer
+                    continue
+                tin[v] = timer
+                timer += 1
+                stack.append((v, True))
+                for c in reversed(self._children[v]):
+                    stack.append((c, False))
+            self._intervals = (tin, tout)
+        return self._intervals
 
     def reachability_matrix(self, *, allow_large: bool = False) -> np.ndarray | None:
         """Dense boolean matrix ``R`` with ``R[u, v] = u reaches v``.

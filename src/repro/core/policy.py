@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Hashable
+from typing import Any
 
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
@@ -45,11 +46,20 @@ class Policy(ABC):
     #: experiment harness uses it to skip redundant re-evaluations.
     uses_distribution: bool = True
 
+    #: Whether the policy can *revert* its most recent answer exactly
+    #: (:meth:`undo`).  Policies that set this implement the engine's
+    #: :class:`repro.engine.VectorPolicy` protocol natively: the vectorized
+    #: driver explores both answers of every decision point in one pass
+    #: instead of replaying one search per target.
+    supports_undo: bool = False
+
     def __init__(self) -> None:
         self.hierarchy: Hierarchy | None = None
         self.distribution: TargetDistribution | None = None
         self.cost_model: QueryCostModel = UnitCost()
         self._pending: Hashable | None = None
+        self._undo_enabled = False
+        self._undo_log: list[tuple[Hashable, bool, Any]] = []
 
     # ------------------------------------------------------------------
     # Protocol
@@ -71,6 +81,7 @@ class Policy(ABC):
         self.distribution = distribution
         self.cost_model = cost_model or UnitCost()
         self._pending = None
+        self._undo_log = []
         self._reset_state()
 
     def propose(self) -> Hashable:
@@ -89,6 +100,42 @@ class Policy(ABC):
             raise PolicyError("observe() called before propose()")
         query, self._pending = self._pending, None
         self._apply_answer(query, bool(answer))
+
+    def enable_undo(self, enabled: bool = True) -> None:
+        """Turn answer journaling on/off (engine use; off by default).
+
+        While enabled, every :meth:`observe` appends an exact-restoration
+        record, and :meth:`undo` pops one.  The flag survives :meth:`reset`
+        (the log itself is cleared), so drivers can enable it before
+        resetting.  Journaling costs a little memory and time per answer,
+        which is why plain interactive searches leave it off.
+        """
+        if enabled and not self.supports_undo:
+            raise PolicyError(
+                f"{type(self).__name__} does not support undo; the engine "
+                "falls back to transcript replay for it"
+            )
+        self._undo_enabled = bool(enabled)
+        self._undo_log = []
+
+    def undo(self) -> None:
+        """Revert the most recent :meth:`observe`; its query becomes pending.
+
+        Only valid while undo journaling is enabled (:meth:`enable_undo`) and
+        at least one answer has been observed since the last reset.  After
+        ``undo()`` the policy is in the exact state it had right after the
+        corresponding :meth:`propose`, so the *other* answer can be observed
+        — this is how the engine walks a policy's whole decision structure
+        with a single reset.
+        """
+        self._require_reset()
+        if not self._undo_log:
+            raise PolicyError(
+                "undo() without a journaled answer (was enable_undo() on?)"
+            )
+        query, answer, payload = self._undo_log.pop()
+        self._revert_answer(query, answer, payload)
+        self._pending = query
 
     @abstractmethod
     def done(self) -> bool:
@@ -111,7 +158,21 @@ class Policy(ABC):
 
     @abstractmethod
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
-        """Update internal state after ``reach(query) = answer``."""
+        """Update internal state after ``reach(query) = answer``.
+
+        Implementations with ``supports_undo`` must, while
+        ``self._undo_enabled``, append ``(query, answer, payload)`` to
+        ``self._undo_log`` where ``payload`` carries the *old values* needed
+        for an exact restoration (store values, not deltas: re-adding a
+        float subtraction is not bit-exact).
+        """
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload: Any) -> None:
+        """Exactly restore the state prior to ``_apply_answer(query, answer)``.
+
+        Only called by :meth:`undo`; required for ``supports_undo`` policies.
+        """
+        raise PolicyError(f"{type(self).__name__} cannot revert answers")
 
     # ------------------------------------------------------------------
     # Helpers

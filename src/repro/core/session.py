@@ -76,8 +76,9 @@ def run_search(
     while not policy.done():
         if len(transcript) >= budget:
             raise BudgetExceededError(
-                f"{type(policy).__name__} exceeded the query budget of "
-                f"{budget} questions"
+                f"policy {policy.name!r} ({type(policy).__name__}) exceeded "
+                f"the query budget of {budget} questions after asking "
+                f"{len(transcript)} questions without identifying the target"
             )
         query = policy.propose()
         answer = bool(oracle.answer(query))

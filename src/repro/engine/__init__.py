@@ -1,0 +1,19 @@
+"""Vectorized multi-session simulation engine.
+
+Evaluate a policy against *all* targets of a hierarchy in one pass on flat
+numpy index arrays — the amortized, index-level evaluation path the paper's
+efficiency experiments (Fig. 6) presume — instead of one ``run_search`` per
+target.  See :mod:`repro.engine.driver` for the algorithm and
+:mod:`repro.engine.vector` for the policy protocol.
+"""
+
+from repro.engine.driver import EngineResult, simulate_all_targets
+from repro.engine.vector import VectorPolicy, is_vector_policy, make_splitter
+
+__all__ = [
+    "EngineResult",
+    "VectorPolicy",
+    "is_vector_policy",
+    "make_splitter",
+    "simulate_all_targets",
+]

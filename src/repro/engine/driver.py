@@ -1,0 +1,305 @@
+"""The multi-session simulation driver: all targets of a hierarchy, one pass.
+
+The paper's evaluation protocol (Eq. 2 and the Fig. 4–6 / Table 2–5 drivers)
+scores a deterministic policy by the cost of one interactive search per
+target.  The seed implementation literally ran ``run_search`` once per
+target, resetting the policy and rebuilding an oracle every time — an
+``O(n)``-per-target loop and the dominant cost of every experiment.
+
+:func:`simulate_all_targets` replaces that loop.  For every deterministic
+policy the searches over all targets form the policy's *decision tree*
+(Definitions 5–7): targets sharing an answer prefix share the exact same
+policy computation.  The engine therefore walks the decision structure once:
+
+1. reset the policy a single time;
+2. at each decision point, ``propose`` once and split the current target
+   vector (a flat numpy index array) into the yes/no halves with the
+   hierarchy's reachability kernel (:func:`repro.engine.vector.make_splitter`);
+3. descend into each non-empty half, using exact answer reversal
+   (:meth:`~repro.core.policy.Policy.undo`) to backtrack — no replay, no
+   per-target reset;
+4. at a leaf, write the depth and accumulated price into per-target arrays.
+
+Every decision point is evaluated exactly once, so the total policy work is
+proportional to the number of *distinct* questions (≤ 2n − 1) instead of the
+sum of all per-target search depths, and the per-target bookkeeping is pure
+numpy.  Policies without native undo support fall back to a
+transcript-replay adapter (one ``run_search`` per target) so that every
+registry policy — and any third-party :class:`~repro.core.policy.Policy` —
+produces identical numbers through the same API.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle
+from repro.core.policy import Policy
+from repro.core.session import run_search
+from repro.engine.vector import is_vector_policy, make_splitter
+from repro.exceptions import BudgetExceededError, SearchError
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Per-target costs of one policy over one hierarchy, as flat arrays.
+
+    ``queries``/``prices`` are aligned to node indices (length ``n``);
+    entries for targets outside the evaluated set hold ``-1`` / ``nan``.
+    Aggregates are computed on demand, so evaluating all ``n`` targets never
+    materialises ``n`` transcripts.
+    """
+
+    policy: str
+    hierarchy: Hierarchy = field(repr=False)
+    #: Evaluated target node indices (unique, ascending).
+    target_ix: np.ndarray = field(repr=False)
+    #: Query count per node index; ``-1`` where not evaluated.
+    queries: np.ndarray = field(repr=False)
+    #: Total price per node index; ``nan`` where not evaluated.
+    prices: np.ndarray = field(repr=False)
+    #: ``"vector"`` (one-pass walk) or ``"replay"`` (per-target adapter).
+    method: str = "vector"
+    #: Decision points walked (vector) or total queries simulated (replay).
+    decision_nodes: int = 0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def expected_queries(self, distribution: TargetDistribution) -> float:
+        """Equation (2): ``sum_z p(z) * cost(z)`` over the evaluated targets."""
+        probs = distribution.as_array(self.hierarchy)[self.target_ix]
+        return float(probs @ self.queries[self.target_ix])
+
+    def expected_price(self, distribution: TargetDistribution) -> float:
+        """Equation (4): probability-weighted total price."""
+        probs = distribution.as_array(self.hierarchy)[self.target_ix]
+        return float(probs @ self.prices[self.target_ix])
+
+    def mean_queries(self) -> float:
+        """Unweighted average query count over the evaluated targets."""
+        return float(self.queries[self.target_ix].mean())
+
+    def mean_price(self) -> float:
+        """Unweighted average price over the evaluated targets."""
+        return float(self.prices[self.target_ix].mean())
+
+    def worst_case(self) -> int:
+        """Maximum query count over the evaluated targets."""
+        return int(self.queries[self.target_ix].max())
+
+    def query_count(self, target: Hashable) -> int:
+        """Query count of one evaluated target."""
+        count = int(self.queries[self.hierarchy.index(target)])
+        if count < 0:
+            raise SearchError(f"target {target!r} was not simulated")
+        return count
+
+    def total_price(self, target: Hashable) -> float:
+        """Total price of one evaluated target."""
+        self.query_count(target)  # raises on unevaluated targets
+        return float(self.prices[self.hierarchy.index(target)])
+
+    def per_target(self) -> dict[Hashable, int]:
+        """``{target label: query count}`` for the evaluated targets."""
+        label = self.hierarchy.label
+        return {
+            label(int(ix)): int(self.queries[ix]) for ix in self.target_ix
+        }
+
+    @property
+    def num_targets(self) -> int:
+        return int(len(self.target_ix))
+
+
+def simulate_all_targets(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    targets: Iterable[Hashable] | None = None,
+    check_correctness: bool = True,
+    max_queries: int | None = None,
+) -> EngineResult:
+    """Simulate ``policy`` against every target in one pass.
+
+    Produces, for each target, exactly the query count and total price that
+    ``run_search`` with an :class:`ExactOracle` would produce — the parity
+    tests assert equality, not approximation.
+
+    Parameters
+    ----------
+    targets:
+        Restrict the evaluation to these labels (duplicates collapse; the
+        walk prunes branches no requested target can reach).  Default: all
+        ``n`` nodes.
+    check_correctness:
+        Verify the policy identifies every simulated target.
+    max_queries:
+        Per-search budget, defaulting to ``2 n + 10`` as in ``run_search``.
+    """
+    model = cost_model or UnitCost()
+    n = hierarchy.n
+    if targets is None:
+        target_ix = np.arange(n, dtype=np.int64)
+    else:
+        target_ix = np.unique(
+            np.fromiter(
+                (hierarchy.index(t) for t in targets), dtype=np.int64
+            )
+        )
+        if target_ix.size == 0:
+            raise SearchError("no targets to simulate")
+    budget = max_queries if max_queries is not None else 2 * n + 10
+    queries = np.full(n, -1, dtype=np.int64)
+    prices = np.full(n, np.nan, dtype=float)
+
+    if is_vector_policy(policy):
+        method = "vector"
+        nodes = _vector_walk(
+            policy, hierarchy, distribution, model, target_ix,
+            queries, prices, budget, check_correctness,
+        )
+    else:
+        method = "replay"
+        nodes = _replay_targets(
+            policy, hierarchy, distribution, model, target_ix,
+            queries, prices, budget, check_correctness,
+        )
+    return EngineResult(
+        policy=policy.name,
+        hierarchy=hierarchy,
+        target_ix=target_ix,
+        queries=queries,
+        prices=prices,
+        method=method,
+        decision_nodes=nodes,
+    )
+
+
+# ----------------------------------------------------------------------
+# The one-pass vectorized walk
+# ----------------------------------------------------------------------
+def _vector_walk(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None,
+    model: QueryCostModel,
+    target_ix: np.ndarray,
+    queries: np.ndarray,
+    prices: np.ndarray,
+    budget: int,
+    check: bool,
+) -> int:
+    split = make_splitter(hierarchy, len(target_ix))
+    price_vec = model.as_array(hierarchy)
+    decision_nodes = 0
+
+    def settle(current: np.ndarray, depth: int, price: float) -> None:
+        """Record a leaf of the decision structure."""
+        if check:
+            returned = policy.result()
+            rix = hierarchy.index(returned)
+            wrong = current[current != rix]
+            if wrong.size:
+                target = hierarchy.label(int(wrong[0]))
+                raise SearchError(
+                    f"{policy.name} returned {returned!r} "
+                    f"for target {target!r}"
+                )
+        queries[current] = depth
+        prices[current] = price
+
+    def open_frame(current: np.ndarray, depth: int, price: float):
+        """Propose at a decision point; None when the search settled."""
+        nonlocal decision_nodes
+        if policy.done():
+            settle(current, depth, price)
+            return None
+        if depth >= budget:
+            raise BudgetExceededError(
+                f"{policy.name} ({type(policy).__name__}) exceeded the "
+                f"query budget of {budget} questions after {depth} "
+                "questions in the engine walk"
+            )
+        query = policy.propose()
+        qix = hierarchy.index(query)
+        decision_nodes += 1
+        yes, no = split(qix, current)
+        # The yes/no exploration order is irrelevant to the recorded costs
+        # but keeping (yes, no) mirrors run_search transcripts for debugging.
+        branches = [
+            (answer, subset)
+            for answer, subset in ((True, yes), (False, no))
+            if subset.size
+        ]
+        # [branches, cursor, child depth, accumulated child price]
+        return [branches, 0, depth + 1, price + float(price_vec[qix])]
+
+    policy.enable_undo(True)
+    try:
+        policy.reset(hierarchy, distribution, model)
+        root = open_frame(target_ix, 0, 0.0)
+        stack = [root] if root is not None else []
+        while stack:
+            frame = stack[-1]
+            branches, cursor, depth, price = frame
+            if cursor < len(branches):
+                frame[1] += 1
+                answer, subset = branches[cursor]
+                policy.observe(answer)
+                child = open_frame(subset, depth, price)
+                if child is None:
+                    policy.undo()
+                else:
+                    stack.append(child)
+            else:
+                stack.pop()
+                if stack:
+                    policy.undo()
+    finally:
+        policy.enable_undo(False)
+    return decision_nodes
+
+
+# ----------------------------------------------------------------------
+# Transcript-replay adapter (policies without exact undo)
+# ----------------------------------------------------------------------
+def _replay_targets(
+    policy: Policy,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution | None,
+    model: QueryCostModel,
+    target_ix: np.ndarray,
+    queries: np.ndarray,
+    prices: np.ndarray,
+    budget: int,
+    check: bool,
+) -> int:
+    total_steps = 0
+    for ix in target_ix:
+        target = hierarchy.label(int(ix))
+        result = run_search(
+            policy,
+            ExactOracle(hierarchy, target),
+            hierarchy,
+            distribution,
+            model,
+            max_queries=budget,
+        )
+        if check and result.returned != target:
+            raise SearchError(
+                f"{policy.name} returned {result.returned!r} "
+                f"for target {target!r}"
+            )
+        queries[ix] = result.num_queries
+        prices[ix] = result.total_price
+        total_steps += result.num_queries
+    return total_steps

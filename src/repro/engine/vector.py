@@ -1,0 +1,109 @@
+"""The index-level vector protocol and target-splitting kernels.
+
+The engine walks a policy's decision structure once, carrying the set of
+still-consistent targets as a flat array of node indices.  Two ingredients
+make that possible:
+
+* :class:`VectorPolicy` — the protocol a policy must satisfy for the
+  one-pass walk: the usual interactive protocol plus exact answer reversal
+  (:meth:`undo`).  ``GreedyTree``, ``GreedyDAG``, ``TopDown``, ``MIGS``,
+  ``WIGS``, and ``StaticTree`` implement it natively (``supports_undo``);
+  any other deterministic policy is handled by the engine's transcript-replay
+  adapter instead.
+
+* :func:`make_splitter` — a per-hierarchy kernel splitting a target-index
+  array on a query node into (yes, no) halves, because the exact oracle's
+  answer for target ``z`` on query ``q`` is ``reaches(q, z)``.  On trees the
+  split is two numpy comparisons against the cached Euler-tour intervals; on
+  DAGs it is a boolean row of the reachability matrix when the hierarchy is
+  small enough to have one, and a cached-descendant-set membership scan
+  otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+
+#: A splitter takes ``(query_ix, targets)`` and returns ``(yes, no)`` —
+#: the targets reachable / not reachable from the query node.
+Splitter = Callable[[int, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+
+@runtime_checkable
+class VectorPolicy(Protocol):
+    """An interactive policy the engine can drive in one vectorized pass.
+
+    Beyond the base interactive protocol this requires *exact answer
+    reversal*: after ``observe(a)`` — with undo journaling enabled —
+    ``undo()`` must restore the policy to the state it had right after the
+    corresponding ``propose()``, bit-exact, so the engine can explore the
+    sibling answer.  :class:`repro.core.policy.Policy` subclasses advertise
+    this with ``supports_undo = True``.
+    """
+
+    supports_undo: bool
+
+    def reset(self, hierarchy, distribution=None, cost_model=None) -> None: ...
+
+    def done(self) -> bool: ...
+
+    def propose(self) -> Hashable: ...
+
+    def observe(self, answer: bool) -> None: ...
+
+    def undo(self) -> None: ...
+
+    def enable_undo(self, enabled: bool = True) -> None: ...
+
+    def result(self) -> Hashable: ...
+
+
+def is_vector_policy(policy: object) -> bool:
+    """True when the engine can drive ``policy`` through the one-pass walk."""
+    return bool(getattr(policy, "supports_undo", False)) and callable(
+        getattr(policy, "undo", None)
+    )
+
+
+def make_splitter(hierarchy: Hierarchy, num_targets: int) -> Splitter:
+    """Choose the cheapest exact reachability split for this hierarchy.
+
+    ``num_targets`` steers the DAG trade-off: materialising the dense
+    reachability matrix only pays off when the walk will split large target
+    vectors many times; for a handful of Monte-Carlo targets the cached
+    per-node descendant sets are cheaper than an O(n^2/8) build.
+    """
+    if hierarchy.is_tree:
+        tin, tout = hierarchy.tree_intervals()
+
+        def split_tree(qix: int, targets: np.ndarray):
+            times = tin[targets]
+            mask = (times >= tin[qix]) & (times < tout[qix])
+            return targets[mask], targets[~mask]
+
+        return split_tree
+
+    matrix = None
+    if num_targets * max(hierarchy.height, 1) >= hierarchy.n:
+        matrix = hierarchy.reachability_matrix(allow_large=False)
+    if matrix is not None:
+
+        def split_matrix(qix: int, targets: np.ndarray):
+            mask = matrix[qix][targets]
+            return targets[mask], targets[~mask]
+
+        return split_matrix
+
+    def split_sets(qix: int, targets: np.ndarray):
+        desc = hierarchy.descendants_ix(qix)
+        mask = np.fromiter(
+            (int(z) in desc for z in targets), dtype=bool, count=len(targets)
+        )
+        return targets[mask], targets[~mask]
+
+    return split_sets

@@ -56,6 +56,11 @@ def compare_policies(
     When Monte-Carlo evaluation kicks in (large support and ``max_targets``
     set), every policy is measured on the *same* sampled target set, so the
     comparison stays paired.
+
+    Each policy is scored through the vectorized engine (one pass over its
+    decision structure via :func:`repro.evaluation.evaluate_expected_cost`),
+    so comparing k policies costs k engine walks, not ``k * |targets|``
+    interactive searches.
     """
     targets = None
     if max_targets is not None and len(distribution.support) > max_targets:

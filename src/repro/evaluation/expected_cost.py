@@ -1,16 +1,17 @@
 """Expected-cost evaluation of policies.
 
 For a deterministic policy the expected cost (Equation 2) equals
-``sum_z p(z) * cost(z)`` over the support of the target distribution, so the
-exact value is obtained by simulating one search per positive-probability
-target.  When the support is large, :func:`evaluate_expected_cost` switches
-to an unbiased Monte-Carlo estimate (targets sampled from ``p``), which is
-how the scaled experiments keep DAG evaluation affordable.
+``sum_z p(z) * cost(z)`` over the support of the target distribution.  When
+the support is large, :func:`evaluate_expected_cost` switches to an unbiased
+Monte-Carlo estimate (targets sampled from ``p``), which is how the scaled
+experiments keep DAG evaluation affordable.
 
-The policy *instance* is reused across targets (reset each time); policies
-cache their per-``(hierarchy, distribution)`` static precomputation across
-resets, which is what makes all-targets evaluation ``O(n)`` searches rather
-than ``O(n)`` full rebuilds.
+All per-target costs come from the vectorized simulation engine
+(:func:`repro.engine.simulate_all_targets`): one pass over the policy's
+decision structure on flat index arrays, instead of one ``run_search`` —
+with its per-target policy reset and oracle build — per target.  The
+numbers are identical to the per-target loop (the engine's parity tests
+assert equality); only the time to produce them changed.
 """
 
 from __future__ import annotations
@@ -23,9 +24,8 @@ import numpy as np
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
-from repro.core.oracle import ExactOracle
 from repro.core.policy import Policy
-from repro.core.session import run_search
+from repro.engine import simulate_all_targets
 from repro.exceptions import SearchError
 
 
@@ -65,7 +65,7 @@ def evaluate_expected_cost(
     targets:
         Explicit Monte-Carlo target sample (already drawn from ``p``); used
         by :func:`repro.evaluation.comparison.compare_policies` so that every
-        policy faces the same sample.
+        policy faces the same sample.  Duplicates count with multiplicity.
     check_correctness:
         Assert the policy returns the true target on every simulated search.
     """
@@ -74,6 +74,7 @@ def evaluate_expected_cost(
     if not support:
         raise SearchError("distribution has empty support")
 
+    weights: np.ndarray | None
     if targets is not None:
         method = "monte-carlo"
         weights = None
@@ -86,34 +87,43 @@ def evaluate_expected_cost(
     else:
         targets = support
         method = "exact"
-        weights = [distribution.p(z) for z in support]
+        weights = np.fromiter(
+            (distribution.p(z) for z in support),
+            dtype=float,
+            count=len(support),
+        )
 
-    total_queries = 0.0
-    total_price = 0.0
-    count = 0
-    per_target: dict[Hashable, int] | None = {} if keep_per_target else None
-    for pos, target in enumerate(targets):
-        oracle = ExactOracle(hierarchy, target)
-        result = run_search(policy, oracle, hierarchy, distribution, model)
-        if check_correctness and result.returned != target:
-            raise SearchError(
-                f"{policy.name} returned {result.returned!r} "
-                f"for target {target!r}"
-            )
-        w = weights[pos] if weights is not None else 1.0
-        total_queries += w * result.num_queries
-        total_price += w * result.total_price
-        count += 1
-        if per_target is not None:
-            per_target[target] = result.num_queries
-    if weights is None:
-        total_queries /= count
-        total_price /= count
+    engine = simulate_all_targets(
+        policy,
+        hierarchy,
+        distribution,
+        model,
+        targets=targets,
+        check_correctness=check_correctness,
+    )
+    # Duplicate Monte-Carlo samples index the same engine entry repeatedly,
+    # so the mean below weighs each target by its sample multiplicity.
+    index = np.fromiter(
+        (hierarchy.index(z) for z in targets),
+        dtype=np.int64,
+        count=len(targets),
+    )
+    per_query = engine.queries[index].astype(float)
+    per_price = engine.prices[index]
+    if weights is not None:
+        total_queries = float(weights @ per_query)
+        total_price = float(weights @ per_price)
+    else:
+        total_queries = float(per_query.mean())
+        total_price = float(per_price.mean())
+    per_target: dict[Hashable, int] | None = None
+    if keep_per_target:
+        per_target = {z: int(q) for z, q in zip(targets, per_query)}
     return EvaluationResult(
         policy=policy.name,
         expected_queries=total_queries,
         expected_price=total_price,
-        num_targets=count,
+        num_targets=len(targets),
         method=method,
         per_target=per_target,
     )
@@ -127,10 +137,11 @@ def worst_case_cost(
     targets: Iterable[Hashable] | None = None,
 ) -> int:
     """Maximum query count over the given targets (default: all nodes)."""
-    worst = 0
-    for target in targets if targets is not None else hierarchy.nodes:
-        oracle = ExactOracle(hierarchy, target)
-        result = run_search(policy, oracle, hierarchy, distribution)
-        if result.num_queries > worst:
-            worst = result.num_queries
-    return worst
+    engine = simulate_all_targets(
+        policy,
+        hierarchy,
+        distribution,
+        targets=targets,
+        check_correctness=False,
+    )
+    return engine.worst_case()

@@ -37,6 +37,7 @@ class GreedyDagPolicy(Policy):
 
     name = "GreedyDAG"
     uses_distribution = True
+    supports_undo = True
 
     def __init__(self, *, rounded: bool = True) -> None:
         super().__init__()
@@ -112,13 +113,32 @@ class GreedyDagPolicy(Policy):
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         q = self.hierarchy.index(query)
         if answer:
+            if self._undo_enabled:
+                self._undo_log.append((query, True, self._root))
             self._root = q
             return
         removed = self._alive_reachable(q)
-        for x in removed:
-            self._adjust_weight(x)
+        if self._undo_enabled:
+            journal: dict[int, float] = {}
+            for x in removed:
+                self._adjust_weight(x, journal)
+            self._undo_log.append((query, False, (removed, journal)))
+        else:
+            for x in removed:
+                self._adjust_weight(x)
         for x in removed:
             self._alive[x] = 0
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        if answer:
+            self._root = payload
+            return
+        removed, journal = payload
+        for x in removed:
+            self._alive[x] = 1
+        tilde = self._tilde
+        for node, value in journal.items():
+            tilde[node] = value
 
     def _alive_reachable(self, start: int) -> list[int]:
         """Alive nodes reachable from ``start`` (the candidate ``G_start``)."""
@@ -135,12 +155,14 @@ class GreedyDagPolicy(Policy):
                     queue.append(v)
         return order
 
-    def _adjust_weight(self, x: int) -> None:
+    def _adjust_weight(self, x: int, journal: dict[int, float] | None = None) -> None:
         """Algorithm 7: subtract ``w(x)`` from every alive ancestor of ``x``.
 
         Runs before the removal flags flip, so the reverse BFS may pass
         through other soon-to-be-removed nodes (their weights are dead values
-        anyway), exactly as in the paper's pseudo-code.
+        anyway), exactly as in the paper's pseudo-code.  ``journal`` records
+        each touched node's first-seen weight so :meth:`_revert_answer` can
+        restore bit-exact values (re-adding the subtraction would drift).
         """
         h, alive, tilde = self.hierarchy, self._alive, self._tilde
         wx = self._w[x]
@@ -153,6 +175,8 @@ class GreedyDagPolicy(Policy):
             for p in h.parents_ix(u):
                 if alive[p] and p not in seen:
                     seen.add(p)
+                    if journal is not None and p not in journal:
+                        journal[p] = float(tilde[p])
                     tilde[p] -= wx
                     queue.append(p)
 

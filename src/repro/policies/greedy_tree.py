@@ -51,6 +51,7 @@ class GreedyTreePolicy(Policy):
 
     name = "GreedyTree"
     uses_distribution = True
+    supports_undo = True
 
     def __init__(
         self, *, rounded: bool = False, heap_children: bool = False
@@ -193,14 +194,44 @@ class GreedyTreePolicy(Policy):
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         q = self.hierarchy.index(query)
         if answer:
+            if self._undo_enabled:
+                # _last_path is rebuilt by every _select_query; the record
+                # keeps the one belonging to *this* query so that observing
+                # the sibling answer after undo() sees the right path.
+                self._undo_log.append(
+                    (query, True, (self._root, self._last_path, None))
+                )
             self._root = q
             return
+        if self._undo_enabled:
+            saved = [
+                (v, self._tilde_p[v], self._size[v])
+                for v in self._last_path[:-1]
+            ]
+            self._undo_log.append(
+                (query, False, (self._root, self._last_path, saved))
+            )
         removed_weight = self._tilde_p[q]
         removed_size = self._size[q]
         for v in self._last_path[:-1]:
             self._tilde_p[v] -= removed_weight
             self._size[v] -= removed_size
         self._removed.add(q)
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        old_root, last_path, saved = payload
+        if answer:
+            self._root = old_root
+        else:
+            for v, tilde, size in saved:
+                self._tilde_p[v] = tilde
+                self._size[v] = size
+            self._removed.discard(self.hierarchy.index(query))
+            if self.heap_children:
+                # Lazily-dropped heap entries (e.g. for the just-revived
+                # node) cannot be resurrected in place; rebuild on demand.
+                self._heaps.clear()
+        self._last_path = last_path
 
     # ------------------------------------------------------------------
     # Introspection for tests

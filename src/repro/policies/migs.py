@@ -34,6 +34,7 @@ class MigsPolicy(Policy):
 
     name = "MIGS"
     uses_distribution = False
+    supports_undo = True
 
     def _reset_state(self) -> None:
         self._enter(self.hierarchy.root_ix)
@@ -76,8 +77,16 @@ class MigsPolicy(Policy):
 
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         child = self._order[self._cursor]
+        if self._undo_enabled:
+            # _order lists are rebuilt by _enter and never mutated in place.
+            self._undo_log.append(
+                (query, answer, (self._current, self._order, self._cursor))
+            )
         if answer:
             # The crowd found its choice after reading this far; descend.
             self._enter(child)
         else:
             self._cursor += 1
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        self._current, self._order, self._cursor = payload

@@ -26,6 +26,7 @@ class StaticTreePolicy(Policy):
 
     name = "StaticTree"
     uses_distribution = False
+    supports_undo = True
 
     def __init__(self, tree: DecisionTree) -> None:
         super().__init__()
@@ -60,4 +61,9 @@ class StaticTreePolicy(Policy):
 
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         assert isinstance(self._cursor, Question)
+        if self._undo_enabled:
+            self._undo_log.append((query, answer, self._cursor))
         self._cursor = self._cursor.yes if answer else self._cursor.no
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        self._cursor = payload

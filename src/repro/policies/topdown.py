@@ -35,6 +35,7 @@ class TopDownPolicy(Policy):
 
     name = "TopDown"
     uses_distribution = False
+    supports_undo = True
 
     def _reset_state(self) -> None:
         h = self.hierarchy
@@ -56,6 +57,12 @@ class TopDownPolicy(Policy):
 
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         child = self._child_queue[self._cursor]
+        if self._undo_enabled:
+            # _child_queue lists are built fresh on every descent and never
+            # mutated in place, so keeping the reference is an exact snapshot.
+            self._undo_log.append(
+                (query, answer, (self._current, self._child_queue, self._cursor))
+            )
         if answer:
             # Descend: the target lies in the subgraph rooted at this child.
             self._current = child
@@ -65,3 +72,6 @@ class TopDownPolicy(Policy):
             self._cursor = 0
         else:
             self._cursor += 1
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        self._current, self._child_queue, self._cursor = payload

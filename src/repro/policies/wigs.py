@@ -36,6 +36,7 @@ class WigsPolicy(Policy):
 
     name = "WIGS"
     uses_distribution = False
+    supports_undo = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -110,19 +111,44 @@ class WigsPolicy(Policy):
     # ------------------------------------------------------------------
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
         q = self.hierarchy.index(query)
+        # The binary-search cursor state is (re)built inside _select_query,
+        # so an exact undo must restore it as of *this* query's proposal —
+        # _path is replaced (never mutated), keeping the reference is safe.
+        search_state = (self._path, self._lo, self._hi, self._mid, self._root)
         if answer:
+            if self._undo_enabled:
+                self._undo_log.append((query, True, (search_state, None)))
             self._lo = self._mid
             self._root = q
             return
-        self._remove_subgraph(q)
+        if self._undo_enabled:
+            removal = self._remove_subgraph(q, journal=True)
+            self._undo_log.append((query, False, (search_state, removal)))
+        else:
+            self._remove_subgraph(q)
         self._hi = self._mid - 1
 
-    def _remove_subgraph(self, q: int) -> None:
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        search_state, removal = payload
+        if removal is not None:
+            removed, journal = removal
+            for x in removed:
+                self._alive[x] = 1
+            count = self._count
+            for node, value in journal.items():
+                count[node] = value
+        self._path, self._lo, self._hi, self._mid, self._root = search_state
+
+    def _remove_subgraph(
+        self, q: int, *, journal: bool = False
+    ) -> tuple[list[int], dict[int, float]] | None:
         """Remove ``G_q`` and restore exact reachable counts.
 
         On trees the only affected nodes are the ancestors on the path, but
         the reverse-BFS update is correct (and within the same bound) for
-        both cases, so it is used uniformly.
+        both cases, so it is used uniformly.  With ``journal=True`` the
+        removed nodes and each touched count's old value are returned for an
+        exact undo.
         """
         h, alive = self.hierarchy, self._alive
         removed = [q]
@@ -136,6 +162,7 @@ class WigsPolicy(Policy):
                     removed.append(v)
                     queue.append(v)
         count = self._count
+        old_counts: dict[int, float] | None = {} if journal else None
         for x in removed:
             anc_seen = {x}
             anc_queue = deque([x])
@@ -144,7 +171,12 @@ class WigsPolicy(Policy):
                 for p in h.parents_ix(u):
                     if alive[p] and p not in anc_seen:
                         anc_seen.add(p)
+                        if old_counts is not None and p not in old_counts:
+                            old_counts[p] = float(count[p])
                         count[p] -= 1.0
                         anc_queue.append(p)
         for x in removed:
             alive[x] = 0
+        if old_counts is not None:
+            return removed, old_counts
+        return None

@@ -1,50 +1,31 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The reusable builders (``make_random_tree``, ``make_random_dag``,
+``random_distribution``) live in :mod:`repro.testing` so test modules and
+benchmarks import them from the package instead of from a ``conftest``
+module (which is ambiguous when several directories define one).  The
+``src/`` layout is put on ``sys.path`` by the ``pythonpath`` setting in
+``pyproject.toml`` — no path surgery here.
+"""
 
 from __future__ import annotations
-
-import sys
-from pathlib import Path
-
-# Allow running the tests from a source checkout without installation.
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
 
 import numpy as np
 import pytest
 
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
-
-#: The paper's Fig. 1 vehicle hierarchy, used throughout the tests.
-VEHICLE_EDGES = [
-    ("Vehicle", "Car"),
-    ("Car", "Nissan"),
-    ("Car", "Honda"),
-    ("Car", "Mercedes"),
-    ("Nissan", "Maxima"),
-    ("Nissan", "Sentra"),
-]
-
-VEHICLE_PROBS = {
-    "Vehicle": 0.04,
-    "Car": 0.02,
-    "Nissan": 0.08,
-    "Honda": 0.04,
-    "Mercedes": 0.02,
-    "Maxima": 0.40,
-    "Sentra": 0.40,
-}
+from repro import testing
 
 
 @pytest.fixture
 def vehicle_hierarchy() -> Hierarchy:
-    return Hierarchy(VEHICLE_EDGES)
+    return testing.vehicle_hierarchy()
 
 
 @pytest.fixture
 def vehicle_distribution() -> TargetDistribution:
-    return TargetDistribution(VEHICLE_PROBS, normalize=False)
+    return testing.vehicle_distribution()
 
 
 @pytest.fixture
@@ -58,40 +39,3 @@ def diamond_dag() -> Hierarchy:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
-
-
-def make_random_tree(n: int, seed: int) -> Hierarchy:
-    """A quick uniform-attachment tree for tests (not the tuned generator)."""
-    gen = np.random.default_rng(seed)
-    edges = [(f"t{int(gen.integers(0, i))}", f"t{i}") for i in range(1, n)]
-    return Hierarchy(edges, nodes=["t0"])
-
-
-def make_random_dag(n: int, seed: int, extra: int | None = None) -> Hierarchy:
-    """A quick random DAG: uniform-attachment tree plus forward cross edges."""
-    gen = np.random.default_rng(seed)
-    edges = {(int(gen.integers(0, i)), i) for i in range(1, n)}
-    extra = extra if extra is not None else max(1, n // 4)
-    for _ in range(extra * 3):
-        if len(edges) >= n - 1 + extra:
-            break
-        j = int(gen.integers(1, n))
-        i = int(gen.integers(0, j))
-        edges.add((i, j))
-    return Hierarchy(
-        [(f"d{u}", f"d{v}") for u, v in sorted(edges)], nodes=["d0"]
-    )
-
-
-def random_distribution(
-    hierarchy: Hierarchy, seed: int, *, zeros: bool = False
-) -> TargetDistribution:
-    """A random positive (or partially zero) distribution for tests."""
-    gen = np.random.default_rng(seed)
-    values = gen.uniform(0.1, 1.0, size=hierarchy.n)
-    if zeros:
-        mask = gen.random(hierarchy.n) < 0.4
-        if mask.all():
-            mask[0] = False
-        values[mask] = 0.0
-    return TargetDistribution(dict(zip(hierarchy.nodes, values)))

@@ -12,7 +12,7 @@ from repro.evaluation import worst_case_cost
 from repro.policies import MigsPolicy, TopDownPolicy, WigsPolicy
 from repro.taxonomy.generators import balanced_tree, path_graph, star_graph
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 
 ALL_BASELINES = [TopDownPolicy, MigsPolicy, WigsPolicy]

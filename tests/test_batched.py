@@ -12,7 +12,7 @@ from repro.core.oracle import ExactOracle
 from repro.exceptions import HierarchyError, SearchError
 from repro.policies import batched_search_for_target, run_batched_search
 
-from conftest import make_random_tree, random_distribution
+from repro.testing import make_random_tree, random_distribution
 
 
 class TestBasics:

@@ -20,7 +20,7 @@ from repro.policies import (
 )
 from repro.taxonomy.generators import balanced_tree, path_graph
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 
 class TestBounds:

@@ -7,7 +7,7 @@ import pytest
 from repro.core.candidate import CandidateGraph
 from repro.exceptions import SearchError
 
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 class TestUpdates:

@@ -12,7 +12,7 @@ from repro.core.session import search_for_target
 from repro.policies import CostSensitiveGreedyPolicy, GreedyNaivePolicy
 from repro.policies.optimal import optimal_expected_cost
 
-from conftest import make_random_tree, random_distribution
+from repro.testing import make_random_tree, random_distribution
 
 
 @pytest.fixture

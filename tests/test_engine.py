@@ -1,0 +1,264 @@
+"""Tests for the vectorized multi-session simulation engine.
+
+The contract under test: :func:`repro.engine.simulate_all_targets` produces
+*exactly* the query counts and total prices of the per-target ``run_search``
+loop — for every registry policy, on the Fig. 1 vehicle hierarchy, random
+trees, and random DAGs — while walking each decision point only once for
+policies with native undo support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import UnitCost, random_costs
+from repro.core.decision_tree import build_decision_tree
+from repro.core.oracle import ExactOracle
+from repro.core.session import run_search
+from repro.core.distribution import TargetDistribution
+from repro.engine import VectorPolicy, is_vector_policy, simulate_all_targets
+from repro.exceptions import PolicyError, SearchError
+from repro.policies import (
+    GreedyTreePolicy,
+    StaticTreePolicy,
+    available_policies,
+    make_policy,
+)
+from repro.testing import (
+    make_random_dag,
+    make_random_tree,
+    random_distribution,
+)
+
+#: Policies that must take the one-pass vectorized walk.
+VECTOR_POLICIES = ("topdown", "migs", "wigs", "greedy-tree", "greedy-dag")
+
+TREE_ONLY = {"greedy-tree"}
+
+
+def _assert_parity(policy, hierarchy, distribution, cost_model=None):
+    """Engine arrays must equal per-target run_search, target by target."""
+    engine = simulate_all_targets(policy, hierarchy, distribution, cost_model)
+    for target in hierarchy.nodes:
+        reference = run_search(
+            policy,
+            ExactOracle(hierarchy, target),
+            hierarchy,
+            distribution,
+            cost_model,
+        )
+        assert engine.query_count(target) == reference.num_queries, (
+            policy.name,
+            target,
+        )
+        assert engine.total_price(target) == pytest.approx(
+            reference.total_price, abs=1e-12
+        )
+    return engine
+
+
+class TestRegistryParityVehicle:
+    @pytest.mark.parametrize("name", available_policies())
+    def test_vehicle(self, name, vehicle_hierarchy, vehicle_distribution):
+        policy = make_policy(name)
+        engine = _assert_parity(
+            policy, vehicle_hierarchy, vehicle_distribution
+        )
+        expected = "vector" if name in VECTOR_POLICIES else "replay"
+        assert engine.method == expected
+
+
+class TestRegistryParityRandomGraphs:
+    @pytest.mark.parametrize("name", available_policies())
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_tree(self, name, seed):
+        hierarchy = make_random_tree(30, seed=seed)
+        distribution = random_distribution(hierarchy, seed)
+        _assert_parity(make_policy(name), hierarchy, distribution)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in available_policies() if n not in TREE_ONLY]
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dag(self, name, seed):
+        hierarchy = make_random_dag(26, seed=seed)
+        distribution = random_distribution(hierarchy, seed + 50)
+        _assert_parity(make_policy(name), hierarchy, distribution)
+
+    @pytest.mark.parametrize("name", ["greedy-tree", "wigs", "cost-greedy"])
+    def test_heterogeneous_prices(self, name):
+        hierarchy = make_random_tree(25, seed=4)
+        distribution = random_distribution(hierarchy, 4)
+        costs = random_costs(hierarchy, np.random.default_rng(4))
+        _assert_parity(make_policy(name), hierarchy, distribution, costs)
+
+
+class TestStaticTree:
+    def test_compiled_policy_is_vector(self, vehicle_hierarchy, vehicle_distribution):
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        policy = StaticTreePolicy(tree)
+        engine = _assert_parity(
+            policy, vehicle_hierarchy, vehicle_distribution
+        )
+        assert engine.method == "vector"
+        # The compiled tree replays the compiled policy's exact behaviour.
+        direct = simulate_all_targets(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        assert np.array_equal(engine.queries, direct.queries)
+
+
+class TestEngineResult:
+    def test_expected_cost_matches_decision_tree(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        tree = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        assert engine.expected_queries(vehicle_distribution) == pytest.approx(
+            tree.expected_cost(vehicle_distribution)
+        )
+        assert engine.expected_price(vehicle_distribution) == pytest.approx(
+            tree.expected_price(vehicle_distribution, UnitCost())
+        )
+        assert engine.worst_case() == tree.worst_case_cost()
+        assert engine.per_target() == tree.leaf_depths()
+        assert engine.num_targets == vehicle_hierarchy.n
+
+    def test_restricted_targets_prune(self, vehicle_hierarchy, vehicle_distribution):
+        engine = simulate_all_targets(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            vehicle_distribution,
+            targets=["Maxima", "Sentra", "Maxima"],
+        )
+        assert engine.num_targets == 2  # duplicates collapse
+        assert engine.query_count("Maxima") == 1
+        with pytest.raises(SearchError, match="not simulated"):
+            engine.query_count("Honda")
+
+    def test_unknown_target_rejected(self, vehicle_hierarchy, vehicle_distribution):
+        from repro.exceptions import HierarchyError
+
+        with pytest.raises(HierarchyError):
+            simulate_all_targets(
+                GreedyTreePolicy(),
+                vehicle_hierarchy,
+                vehicle_distribution,
+                targets=["NotANode"],
+            )
+
+    def test_decision_nodes_counted_once(self):
+        """The vector walk visits each distinct question exactly once."""
+        hierarchy = make_random_tree(60, seed=8)
+        distribution = random_distribution(hierarchy, 8)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution
+        )
+        tree = build_decision_tree(
+            GreedyTreePolicy, hierarchy, distribution
+        )
+        assert engine.decision_nodes == tree.num_questions()
+
+
+class TestUndoProtocol:
+    def test_vector_policy_protocol(self):
+        policy = GreedyTreePolicy()
+        assert isinstance(policy, VectorPolicy)
+        assert is_vector_policy(policy)
+        assert not is_vector_policy(make_policy("random"))
+
+    def test_undo_restores_exact_state(self):
+        hierarchy = make_random_tree(20, seed=1)
+        distribution = random_distribution(hierarchy, 1)
+        policy = GreedyTreePolicy()
+        policy.enable_undo(True)
+        policy.reset(hierarchy, distribution)
+        query = policy.propose()
+        before = (
+            list(policy._tilde_p),
+            list(policy._size),
+            policy._root,
+            set(policy._removed),
+        )
+        policy.observe(False)
+        policy.undo()
+        assert policy.propose() == query
+        after = (
+            list(policy._tilde_p),
+            list(policy._size),
+            policy._root,
+            set(policy._removed),
+        )
+        assert before == after  # bit-exact, not approximate
+
+    def test_undo_without_journal_raises(self):
+        hierarchy = make_random_tree(10, seed=2)
+        policy = GreedyTreePolicy()
+        policy.reset(hierarchy, random_distribution(hierarchy, 2))
+        with pytest.raises(PolicyError, match="undo"):
+            policy.undo()
+
+    def test_enable_undo_rejected_without_support(self):
+        policy = make_policy("greedy-naive")
+        with pytest.raises(PolicyError, match="does not support undo"):
+            policy.enable_undo(True)
+
+    def test_journaling_off_by_default(self):
+        """Plain searches must not accumulate undo records."""
+        hierarchy = make_random_tree(15, seed=3)
+        policy = GreedyTreePolicy()
+        policy.reset(hierarchy, random_distribution(hierarchy, 3))
+        while not policy.done():
+            policy.propose()
+            policy.observe(False)
+        assert policy._undo_log == []
+
+
+class TestCorrectnessCheck:
+    def test_wrong_result_reported(self, vehicle_hierarchy, vehicle_distribution):
+        """A policy that mis-identifies a target is caught with its name."""
+
+        class LyingPolicy(GreedyTreePolicy):
+            name = "Liar"
+
+            def result(self):
+                return "Vehicle"  # claims the root no matter what
+
+        with pytest.raises(SearchError, match="Liar returned"):
+            simulate_all_targets(
+                LyingPolicy(), vehicle_hierarchy, vehicle_distribution
+            )
+        # Without the check the walk still records per-target costs.
+        engine = simulate_all_targets(
+            LyingPolicy(),
+            vehicle_hierarchy,
+            vehicle_distribution,
+            check_correctness=False,
+        )
+        assert engine.num_targets == vehicle_hierarchy.n
+
+
+class TestTreeIntervals:
+    def test_interval_containment_matches_reaches(self):
+        hierarchy = make_random_tree(40, seed=5)
+        tin, tout = hierarchy.tree_intervals()
+        for u in hierarchy.nodes:
+            ui = hierarchy.index(u)
+            for z in hierarchy.nodes:
+                zi = hierarchy.index(z)
+                expected = hierarchy.reaches(u, z)
+                assert (tin[ui] <= tin[zi] < tout[ui]) == expected
+
+    def test_rejected_on_dags(self):
+        from repro.exceptions import HierarchyError
+
+        dag = make_random_dag(12, seed=0)
+        with pytest.raises(HierarchyError, match="tree"):
+            dag.tree_intervals()

@@ -15,7 +15,7 @@ from repro.evaluation import (
 )
 from repro.policies import GreedyTreePolicy, TopDownPolicy, WigsPolicy
 
-from conftest import make_random_tree, random_distribution
+from repro.testing import make_random_tree, random_distribution
 
 
 class TestExpectedCost:

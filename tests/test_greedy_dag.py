@@ -9,7 +9,7 @@ from repro.core.oracle import ExactOracle
 from repro.core.session import search_for_target
 from repro.policies import GreedyDagPolicy, GreedyNaivePolicy
 
-from conftest import make_random_dag, random_distribution
+from repro.testing import make_random_dag, random_distribution
 
 
 class TestBasics:

@@ -10,7 +10,7 @@ from repro.core.session import search_for_target
 from repro.exceptions import HierarchyError
 from repro.policies import GreedyNaivePolicy, GreedyTreePolicy
 
-from conftest import make_random_tree, random_distribution
+from repro.testing import make_random_tree, random_distribution
 
 
 class TestBasics:

@@ -8,7 +8,7 @@ import pytest
 from repro.core.hierarchy import DUMMY_ROOT, Hierarchy
 from repro.exceptions import CycleError, HierarchyError
 
-from conftest import make_random_dag, make_random_tree
+from repro.testing import make_random_dag, make_random_tree
 
 
 class TestConstruction:
@@ -197,3 +197,63 @@ class TestConversions:
 
     def test_edges_complete(self, diamond_dag):
         assert len(diamond_dag.edges()) == diamond_dag.m
+
+
+class TestMatrixGuard:
+    """Regression: above _MATRIX_NODE_LIMIT the dense matrix is refused and
+    every reachability consumer must fall back to the cached/blocked paths
+    with unchanged answers."""
+
+    def test_guard_refuses_matrix_but_answers_stay_correct(self, monkeypatch):
+        import repro.core.hierarchy as hierarchy_module
+
+        h = make_random_dag(60, seed=9)
+        reference = h.reachability_matrix()  # built while under the limit
+        assert reference is not None
+
+        # A fresh copy of the same graph, now "over" the (patched) limit.
+        monkeypatch.setattr(hierarchy_module, "_MATRIX_NODE_LIMIT", h.n - 1)
+        guarded = Hierarchy(h.edges())
+        assert guarded.reachability_matrix() is None  # the guard path
+
+        # Node interning order differs after the rebuild; compare by label.
+        for u in h.nodes:
+            expected = {
+                h.label(v) for v in range(h.n) if reference[h.index(u), v]
+            }
+            assert guarded.descendants(u) == expected
+            assert guarded.subtree_size(u) == len(expected)
+        values = np.random.default_rng(9).uniform(0.5, 2.0, h.n)
+        guarded_weights = np.array(
+            [values[h.index(label)] for label in guarded.nodes]
+        )
+        totals = guarded.reach_weight_vector(guarded_weights)
+        dense = reference @ values
+        for u in h.nodes:
+            assert totals[guarded.index(u)] == pytest.approx(
+                dense[h.index(u)]
+            )
+        # allow_large overrides the guard explicitly.
+        assert guarded.reachability_matrix(allow_large=True) is not None
+
+    def test_real_size_above_limit(self):
+        """An actually-oversized hierarchy (> _MATRIX_NODE_LIMIT nodes)
+        answers reachability queries without ever building the matrix."""
+        from repro.core.hierarchy import _MATRIX_NODE_LIMIT
+
+        n = _MATRIX_NODE_LIMIT + 100
+        edges = [(f"c{(i - 1) // 4}", f"c{i}") for i in range(1, n)]
+        h = Hierarchy(edges, nodes=["c0"])
+        assert h.n > _MATRIX_NODE_LIMIT
+        assert h.reachability_matrix() is None
+        assert h.reaches("c0", f"c{n - 1}")
+        assert h.reaches("c1", "c5")  # c5's parent is (5-1)//4 = c1
+        assert not h.reaches(f"c{n - 1}", "c0")
+        # Engine evaluation also works on the guarded hierarchy (tree path).
+        from repro.engine import simulate_all_targets
+        from repro.policies import TopDownPolicy
+
+        engine = simulate_all_targets(
+            TopDownPolicy(), h, targets=["c0", "c1", f"c{n - 1}"]
+        )
+        assert engine.query_count("c0") >= 1

@@ -14,7 +14,7 @@ from repro.online import (
 from repro.policies import GreedyTreePolicy
 from repro.taxonomy import Catalog, amazon_like
 
-from conftest import make_random_tree
+from repro.testing import make_random_tree
 
 
 class TestLearner:

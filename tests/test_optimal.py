@@ -20,7 +20,7 @@ from repro.policies import (
 from repro.exceptions import SearchError
 from repro.taxonomy.generators import balanced_tree, path_graph, star_graph
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 #: Theorem 2's golden-ratio bound for trees.
 PHI = (1 + math.sqrt(5)) / 2

@@ -14,7 +14,7 @@ from repro.policies import (
 from repro.experiments import TINY, table3
 from repro.experiments.scale import scaled
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 
 class TestOptimalTreeExtraction:

@@ -16,7 +16,7 @@ from repro.policies import (
 from repro.experiments import noise
 from repro.experiments.scale import TINY, scaled
 
-from conftest import make_random_tree, random_distribution
+from repro.testing import make_random_tree, random_distribution
 
 
 class AdversarialOracle(Oracle):

@@ -10,7 +10,7 @@ from repro.core.session import search_for_target
 from repro.policies import GreedyDagPolicy, GreedyTreePolicy, WigsPolicy
 from repro.taxonomy import amazon_catalog, amazon_like, imagenet_like
 
-from conftest import make_random_dag
+from repro.testing import make_random_dag
 
 
 class TestBlockedReachWeights:

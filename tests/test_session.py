@@ -65,6 +65,19 @@ class TestRunSearch:
                 LoopingPolicy(), oracle, vehicle_hierarchy, max_queries=25
             )
 
+    def test_budget_error_names_policy_and_count(self, vehicle_hierarchy):
+        """The error message identifies the offending policy and how many
+        questions it burned — the operator-facing half of the guard."""
+        oracle = ExactOracle(vehicle_hierarchy, "Sentra")
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_search(
+                LoopingPolicy(), oracle, vehicle_hierarchy, max_queries=25
+            )
+        message = str(excinfo.value)
+        assert "'looper'" in message  # the policy's reported name
+        assert "LoopingPolicy" in message  # and its class
+        assert "25" in message  # the exhausted budget / question count
+
     def test_single_node_hierarchy_needs_no_queries(self):
         from repro.core.hierarchy import Hierarchy
 

@@ -11,7 +11,7 @@ from repro.core.session import search_for_target
 from repro.exceptions import SearchError
 from repro.policies import GreedyTreePolicy, GreedyDagPolicy, StaticTreePolicy
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 
 class TestSerialisation:

@@ -25,7 +25,7 @@ from repro.policies import (
     batched_search_for_target,
 )
 
-from conftest import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, make_random_tree, random_distribution
 
 
 TREE_POLICIES = [GreedyTreePolicy, GreedyNaivePolicy, CostSensitiveGreedyPolicy]
