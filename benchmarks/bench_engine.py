@@ -118,7 +118,7 @@ def test_engine_beats_loop_10x(report):
     payload = run_benchmark(n_target=n, loop_targets=loop_targets)
     report("bench_engine", json.dumps(payload, indent=2))
     assert payload["parity_ok"]
-    assert payload["engine_method"] == "vector"
+    assert payload["engine_method"] == "plan"
     assert payload["speedup_all_targets"] >= 10.0
 
 

@@ -100,7 +100,7 @@ def test_engine_all_targets_tree_1k(benchmark, tree_setup, factory):
     hierarchy, dist, _ = tree_setup
     policy = factory()
     result = benchmark(simulate_all_targets, policy, hierarchy, dist)
-    assert result.method == "vector"
+    assert result.method == "plan"
     assert result.num_targets == hierarchy.n
 
 
@@ -108,5 +108,5 @@ def test_engine_all_targets_dag_1k(benchmark, dag_setup):
     hierarchy, dist, _ = dag_setup
     policy = GreedyDagPolicy()
     result = benchmark(simulate_all_targets, policy, hierarchy, dist)
-    assert result.method == "vector"
+    assert result.method == "plan"
     assert result.worst_case() > 0

@@ -1,0 +1,155 @@
+"""Plan-serving acceptance benchmark: shared plan vs per-session resets.
+
+The compile/execute split's production claim: N user sessions served from
+*one* shared :class:`repro.plan.CompiledPlan` (a cursor pointer-walk per
+session) must beat N legacy sessions that each reset the policy.  This
+benchmark times 1,000 seeded sessions both ways on a ~10,000-node balanced
+tree, checks per-session cost parity, and emits a JSON report.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py            # full size
+    PYTHONPATH=src python benchmarks/bench_plan.py --smoke    # CI gate
+
+or as part of the benchmark suite (``pytest benchmarks/bench_plan.py``),
+where the 10x speedup floor is asserted.  Environment knobs:
+
+``REPRO_BENCH_PLAN_N``
+    Approximate node count of the balanced tree (default 10000).
+``REPRO_BENCH_PLAN_SESSIONS``
+    Number of serving sessions per side (default 1000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (already importable: installed or pythonpath)
+except ImportError:  # standalone `python benchmarks/bench_plan.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.distribution import TargetDistribution
+from repro.core.hierarchy import Hierarchy
+from repro.core.oracle import ExactOracle
+from repro.core.session import run_search
+from repro.plan import compile_policy
+from repro.policies import GreedyTreePolicy
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _balanced_tree_exact(branching: int, n: int) -> Hierarchy:
+    """A complete ``branching``-ary tree with exactly ``n`` nodes."""
+    edges = [(f"b{(i - 1) // branching}", f"b{i}") for i in range(1, n)]
+    return Hierarchy(edges, nodes=["b0"])
+
+
+def run_benchmark(
+    n_target: int = 10_000,
+    branching: int = 10,
+    sessions: int = 1_000,
+    seed: int = 0,
+) -> dict:
+    """Time shared-plan serving against per-session policy resets."""
+    hierarchy = _balanced_tree_exact(branching, n_target)
+    distribution = TargetDistribution.equal(hierarchy)
+    policy = GreedyTreePolicy()
+
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, hierarchy.n, size=sessions)
+    targets = [hierarchy.nodes[int(i)] for i in picks]
+    oracles = [ExactOracle(hierarchy, t) for t in targets]
+
+    start = time.perf_counter()
+    plan = compile_policy(policy, hierarchy, distribution)
+    compile_seconds = time.perf_counter() - start
+
+    # N sessions from the one shared plan: cursor walks only.
+    start = time.perf_counter()
+    plan_counts = [
+        run_search(plan, oracle, hierarchy).num_queries for oracle in oracles
+    ]
+    plan_seconds = time.perf_counter() - start
+
+    # N legacy sessions: reset the policy for every user.
+    start = time.perf_counter()
+    legacy_counts = [
+        run_search(policy, oracle, hierarchy, distribution).num_queries
+        for oracle in oracles
+    ]
+    legacy_seconds = time.perf_counter() - start
+
+    speedup = legacy_seconds / plan_seconds if plan_seconds else float("inf")
+    per_session_gain = (legacy_seconds - plan_seconds) / sessions
+    return {
+        "benchmark": "bench_plan",
+        "policy": policy.name,
+        "n": hierarchy.n,
+        "branching": branching,
+        "height": hierarchy.height,
+        "sessions": sessions,
+        "plan_questions": plan.num_questions,
+        "compile_seconds": round(compile_seconds, 6),
+        "plan_serve_seconds": round(plan_seconds, 6),
+        "plan_sessions_per_second": round(sessions / plan_seconds, 1),
+        "legacy_serve_seconds": round(legacy_seconds, 6),
+        "legacy_sessions_per_second": round(sessions / legacy_seconds, 1),
+        "speedup_serving": round(speedup, 2),
+        "compile_breaks_even_after_sessions": (
+            round(compile_seconds / per_session_gain, 1)
+            if per_session_gain > 0
+            else None
+        ),
+        "parity_ok": plan_counts == legacy_counts,
+    }
+
+
+def test_shared_plan_beats_resets_10x(report):
+    """Acceptance: serving N sessions from one plan is >= 10x N resets."""
+    n = int(os.environ.get("REPRO_BENCH_PLAN_N", "10000"))
+    sessions = int(os.environ.get("REPRO_BENCH_PLAN_SESSIONS", "1000"))
+    payload = run_benchmark(n_target=n, sessions=sessions)
+    report("bench_plan", json.dumps(payload, indent=2))
+    assert payload["parity_ok"]
+    assert payload["speedup_serving"] >= 10.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller tree, assert the 10x floor, write results/bench_plan.txt",
+    )
+    args = parser.parse_args()
+    n = int(os.environ.get("REPRO_BENCH_PLAN_N", "4000" if args.smoke else "10000"))
+    sessions = int(os.environ.get("REPRO_BENCH_PLAN_SESSIONS", "1000"))
+    payload = run_benchmark(n_target=n, sessions=sessions)
+    text = json.dumps(payload, indent=2)
+    print(text)
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "bench_plan.txt").write_text(text + "\n")
+    if args.smoke:
+        if not payload["parity_ok"]:
+            print("FAIL: plan serving diverged from legacy costs", file=sys.stderr)
+            return 1
+        if payload["speedup_serving"] < 10.0:
+            print(
+                f"FAIL: serving speedup {payload['speedup_serving']}x "
+                "is below the 10x floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

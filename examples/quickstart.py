@@ -1,8 +1,11 @@
 """Quickstart: interactive graph search on the paper's Fig. 1 hierarchy.
 
 Builds the 7-node vehicle taxonomy, runs the greedy policy against a
-truthful oracle, prints the question transcript, and compares the expected
-cost of every policy (reproducing Example 2's 2.04 vs 2.60).
+truthful oracle, then compiles the policy into an immutable plan
+(`compile_policy`) and serves further searches from per-session cursors —
+the compile-once / execute-many split used for production serving.  Also
+compares the expected cost of every policy (reproducing Example 2's 2.04
+vs 2.60).
 
 Run:  python examples/quickstart.py
 """
@@ -15,9 +18,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (
+    ExactOracle,
     Hierarchy,
     TargetDistribution,
-    build_decision_tree,
+    compile_policy,
     search_for_target,
 )
 from repro.policies import GreedyTreePolicy, TopDownPolicy, WigsPolicy
@@ -61,18 +65,31 @@ def main() -> None:
         print(f"  is it reachable from {query!r}?  ->  {'yes' if answer else 'no'}")
     print(f"  identified: {result.returned!r}")
 
-    # Expected cost of each policy (Example 2: 2.04 greedy vs 2.60 WIGS).
+    # Serving many sessions: compile once, then each search is a tiny
+    # cursor over the immutable plan — no per-session policy work.
+    plan = compile_policy(GreedyTreePolicy(), hierarchy, distribution)
+    print(f"\nCompiled plan: {plan.num_questions} questions, "
+          f"{plan.num_leaves} leaves")
+    for target in ("Sentra", "Mercedes"):
+        oracle = ExactOracle(hierarchy, target)
+        cursor = plan.start()
+        while not cursor.done():
+            cursor.observe(oracle.answer(cursor.propose()))
+        print(f"  cursor identified {cursor.result()!r} "
+              f"in {cursor.num_queries} questions")
+
+    # Expected cost of each policy (Example 2: 2.04 greedy vs 2.60 WIGS),
+    # straight off each policy's compiled plan.
     print("\nExpected number of questions per image:")
-    for factory in (GreedyTreePolicy, WigsPolicy, TopDownPolicy):
-        tree = build_decision_tree(factory, hierarchy, distribution)
+    for policy in (GreedyTreePolicy(), WigsPolicy(), TopDownPolicy()):
+        compiled = compile_policy(policy, hierarchy, distribution)
         print(
-            f"  {factory().name:12s} expected={tree.expected_cost(distribution):.2f}"
-            f"  worst-case={tree.worst_case_cost()}"
+            f"  {policy.name:12s} expected={compiled.expected_cost(distribution):.2f}"
+            f"  worst-case={compiled.worst_case_cost()}"
         )
 
     print("\nGreedy decision tree:")
-    tree = build_decision_tree(GreedyTreePolicy, hierarchy, distribution)
-    print(render_decision_tree(tree))
+    print(render_decision_tree(plan.as_decision_tree()))
 
 
 if __name__ == "__main__":

@@ -1,7 +1,7 @@
 """Reproduction of *Cost-Effective Algorithms for Average-Case Interactive
 Graph Search* (Cong, Tang, Huang, Chen, Chee — ICDE 2022).
 
-Quickstart::
+Quickstart — one interactive search::
 
     from repro import Hierarchy, TargetDistribution, search_for_target
     from repro.policies import GreedyTreePolicy
@@ -11,8 +11,22 @@ Quickstart::
     result = search_for_target(GreedyTreePolicy(), h, target="sentra", distribution=dist)
     print(result.returned, result.num_queries)
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
-the paper-versus-measured numbers.
+Serving many sessions — compile the policy once, execute per session::
+
+    from repro import compile_policy
+
+    plan = compile_policy(GreedyTreePolicy(), h, dist)  # one-time cost
+    cursor = plan.start()                # per-session: a tiny cursor
+    while not cursor.done():
+        answer = ask_the_user(cursor.propose())
+        cursor.observe(answer)
+    print(cursor.result())
+
+    plan.save("catalog.plan")            # persist; CompiledPlan.load(...)
+
+See ``README.md`` for the system inventory, the simulation engine, and the
+benchmark numbers, and ``ROADMAP.md`` for where this is heading; the
+``examples/`` directory has runnable walkthroughs of every workflow.
 """
 
 from repro.core import (
@@ -43,16 +57,27 @@ from repro.exceptions import (
     DistributionError,
     HierarchyError,
     OracleError,
+    PlanError,
     PolicyError,
     ReproError,
     SearchError,
 )
+from repro.plan import (
+    CompiledPlan,
+    LazyPlan,
+    PlanCache,
+    SearchCursor,
+    compile_policy,
+    plan_key,
+    set_default_cache,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BudgetExceededError",
     "CandidateGraph",
+    "CompiledPlan",
     "CostModelError",
     "CountingOracle",
     "CycleError",
@@ -62,14 +87,18 @@ __all__ = [
     "ExactOracle",
     "Hierarchy",
     "HierarchyError",
+    "LazyPlan",
     "MajorityVoteOracle",
     "NoisyOracle",
     "Oracle",
     "OracleError",
+    "PlanCache",
+    "PlanError",
     "Policy",
     "PolicyError",
     "QueryCostModel",
     "ReproError",
+    "SearchCursor",
     "SearchError",
     "SearchResult",
     "TableCost",
@@ -77,9 +106,12 @@ __all__ = [
     "UnitCost",
     "VectorPolicy",
     "build_decision_tree",
+    "compile_policy",
+    "plan_key",
     "random_costs",
     "run_search",
     "search_for_target",
+    "set_default_cache",
     "simulate_all_targets",
     "__version__",
 ]

@@ -1,12 +1,19 @@
 """Command-line entry point: ``python -m repro <experiment>``.
 
-Two modes:
+Three modes:
 
 * experiment mode — regenerate any paper table/figure at a chosen scale and
-  print the paper-style output (``all`` runs the full suite);
+  print the paper-style output (``all`` runs the full suite).  With
+  ``--plan-cache DIR``, compiled decision plans are content-addressed on
+  disk so repeated runs skip identical compilations;
 * interactive mode — ``python -m repro interactive --edges hierarchy.tsv``
   categorises one object by asking *you* the reachability questions, i.e.
-  the paper's crowdsourcing workflow with a human-in-the-terminal oracle.
+  the paper's crowdsourcing workflow with a human-in-the-terminal oracle
+  (answers are taken back with ``undo``);
+* compile mode — ``python -m repro compile --edges hierarchy.tsv --out
+  plan.bin`` freezes a policy into a :class:`repro.plan.CompiledPlan` file
+  that later interactive sessions load instantly (``interactive --plan
+  plan.bin``).
 """
 
 from __future__ import annotations
@@ -28,8 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "interactive"],
-        help="paper table/figure to regenerate, or 'interactive'",
+        choices=[*EXPERIMENTS, "all", "interactive", "compile"],
+        help="paper table/figure to regenerate, 'interactive', or 'compile'",
     )
     parser.add_argument(
         "--scale",
@@ -42,30 +49,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--edges",
-        help="interactive mode: tab-separated parent<TAB>child edge list",
+        help="interactive/compile mode: tab-separated parent<TAB>child edges",
     )
     parser.add_argument(
         "--policy",
         default="greedy-tree",
-        help="interactive mode: policy registry name (default: greedy-tree)",
+        help=(
+            "interactive/compile mode: policy registry name, or 'auto' for "
+            "the paper's recommended greedy (default: greedy-tree)"
+        ),
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="interactive mode: serve from a compiled plan file instead of "
+        "a policy (see the 'compile' mode)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="plan.bin",
+        help="compile mode: output plan file (default: plan.bin)",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        help="experiment mode: cache compiled plans under DIR (e.g. "
+        "results/plancache) so repeated runs skip identical compilations",
     )
     return parser
 
 
-def _run_interactive(args) -> int:
-    from repro.interactive import console_search
-    from repro.policies import greedy_for, make_policy
+def _load_hierarchy_or_fail(args) -> "object | None":
     from repro.taxonomy import load_edge_list
 
     if not args.edges:
-        print("interactive mode needs --edges <file>", file=sys.stderr)
-        return 2
-    hierarchy = load_edge_list(args.edges)
+        print(f"{args.experiment} mode needs --edges <file>", file=sys.stderr)
+        return None
+    return load_edge_list(args.edges)
+
+
+def _make_policy(args, hierarchy):
+    from repro.policies import greedy_for, make_policy
+
     if args.policy == "auto":
-        policy = greedy_for(hierarchy)
-    else:
-        policy = make_policy(args.policy)
-    console_search(policy, hierarchy)
+        return greedy_for(hierarchy)
+    return make_policy(args.policy)
+
+
+def _run_interactive(args) -> int:
+    from repro.interactive import console_search
+    from repro.plan import CompiledPlan
+
+    if args.plan:
+        plan = CompiledPlan.load(args.plan)
+        console_search(plan)
+        return 0
+    hierarchy = _load_hierarchy_or_fail(args)
+    if hierarchy is None:
+        return 2
+    console_search(_make_policy(args, hierarchy), hierarchy)
+    return 0
+
+
+def _run_compile(args) -> int:
+    from repro.plan import compile_policy
+
+    hierarchy = _load_hierarchy_or_fail(args)
+    if hierarchy is None:
+        return 2
+    policy = _make_policy(args, hierarchy)
+    start = time.perf_counter()
+    plan = compile_policy(policy, hierarchy)
+    elapsed = time.perf_counter() - start
+    plan.save(args.out)
+    print(
+        f"compiled {plan.policy_name!r} over {hierarchy.n} categories in "
+        f"{elapsed:.2f}s: {plan.num_questions} questions, "
+        f"{plan.num_leaves} leaves -> {args.out} "
+        f"(key {plan.config_key[:12]}...)"
+    )
     return 0
 
 
@@ -73,6 +136,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "interactive":
         return _run_interactive(args)
+    if args.experiment == "compile":
+        return _run_compile(args)
+    if args.plan_cache:
+        from repro.plan import set_default_cache
+
+        set_default_cache(args.plan_cache)
     scale = get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

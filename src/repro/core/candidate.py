@@ -149,3 +149,34 @@ class CandidateGraph:
             self.apply_yes(ix)
         else:
             self.apply_no(ix)
+
+    # ------------------------------------------------------------------
+    # Exact reversal (the undo substrate for CandidateGraph policies)
+    # ------------------------------------------------------------------
+    def apply_journaled(
+        self, query_label: Hashable, answer: bool
+    ) -> tuple[list[int], int]:
+        """Apply an answer and return ``(eliminated indices, old root)``.
+
+        The pair is everything :meth:`restore` needs to revert the update
+        exactly — the alive flags, root, and live count are the whole state.
+        A *yes* answer pays one extra BFS over the pre-update candidates to
+        record what it eliminated; a *no* answer journals for free.
+        """
+        old_root = self._root
+        ix = self.hierarchy.index(query_label)
+        if answer:
+            before = self.reachable_ix(old_root)
+            keep = set(self.apply_yes(ix))
+            eliminated = [v for v in before if v not in keep]
+        else:
+            eliminated = self.apply_no(ix)
+        return eliminated, old_root
+
+    def restore(self, eliminated: list[int], root: int) -> None:
+        """Exactly revert one :meth:`apply_journaled` update."""
+        alive = self._alive
+        for ix in eliminated:
+            alive[ix] = 1
+        self._root = root
+        self._n_alive += len(eliminated)

@@ -14,6 +14,7 @@ performance API used by the policies in :mod:`repro.policies`.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from collections.abc import Hashable, Iterable, Sequence
 from typing import Any
@@ -73,6 +74,7 @@ class Hierarchy:
         "_subtree_sizes",
         "_is_tree",
         "_intervals",
+        "_fingerprint",
     )
 
     def __init__(
@@ -163,6 +165,7 @@ class Hierarchy:
         self._reach_matrix: np.ndarray | None = None
         self._subtree_sizes: list[int] | None = None
         self._intervals: tuple[np.ndarray, np.ndarray] | None = None
+        self._fingerprint: str | None = None
         self._is_tree = all(
             len(self._parents[i]) == 1 for i in range(n) if i != root
         )
@@ -217,6 +220,27 @@ class Hierarchy:
             f"Hierarchy({kind}, n={self.n}, m={self.m}, "
             f"height={self.height}, root={self.root!r})"
         )
+
+    def fingerprint(self) -> str:
+        """Content hash over the node labels (in index order) and edges.
+
+        Two hierarchies with equal fingerprints have identical node
+        indexings and reachability relations, so index-level artifacts built
+        on one (compiled plans in particular) are valid on the other.  Label
+        identity uses ``repr``, so labels must have stable representations.
+        Computed once and cached.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for label in self._labels:
+                digest.update(repr(label).encode())
+                digest.update(b"\x00")
+            digest.update(b"|")
+            for u, children in enumerate(self._children):
+                for v in children:
+                    digest.update(f"{u}>{v};".encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def index(self, label: Hashable) -> int:
         """Dense integer index of ``label`` (raises on unknown labels)."""

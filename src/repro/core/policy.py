@@ -16,7 +16,12 @@ queries against flaky oracles without perturbing the policy.
 
 All policies in :mod:`repro.policies` are *deterministic* given their
 construction arguments, so their behaviour is fully described by a decision
-tree (:mod:`repro.core.decision_tree`).
+tree (:mod:`repro.core.decision_tree`).  That determinism is also what makes
+the compile/execute split possible: :func:`repro.plan.compile_policy` freezes
+a policy's whole interactive behaviour into an immutable
+:class:`~repro.plan.CompiledPlan` once, and per-session
+:class:`~repro.plan.SearchCursor` objects replay it with zero per-search
+policy work.
 """
 
 from __future__ import annotations
@@ -47,11 +52,17 @@ class Policy(ABC):
     uses_distribution: bool = True
 
     #: Whether the policy can *revert* its most recent answer exactly
-    #: (:meth:`undo`).  Policies that set this implement the engine's
-    #: :class:`repro.engine.VectorPolicy` protocol natively: the vectorized
-    #: driver explores both answers of every decision point in one pass
-    #: instead of replaying one search per target.
+    #: (:meth:`undo`).  Policies that set this implement the
+    #: :class:`repro.engine.VectorPolicy` protocol natively: the plan
+    #: compiler explores both answers of every decision point in one pass
+    #: instead of replaying one answer prefix per decision node.
     supports_undo: bool = False
+
+    #: Whether :meth:`fingerprint` captures everything that influences the
+    #: policy's decisions, making compiled plans safe to cache on disk.
+    #: Policies configured with unhashable payloads (e.g. a wrapped decision
+    #: tree) set this to False and are compiled fresh every time.
+    plan_cacheable: bool = True
 
     def __init__(self) -> None:
         self.hierarchy: Hierarchy | None = None
@@ -173,6 +184,21 @@ class Policy(ABC):
         Only called by :meth:`undo`; required for ``supports_undo`` policies.
         """
         raise PolicyError(f"{type(self).__name__} cannot revert answers")
+
+    def fingerprint(self) -> str:
+        """Configuration string identifying this policy's decision behaviour.
+
+        Two policy instances with equal fingerprints must produce identical
+        decision structures on any (hierarchy, distribution, cost model)
+        configuration — this string keys the compiled-plan cache
+        (:mod:`repro.plan.cache`).  The default covers policies whose
+        behaviour-relevant options are reflected in :attr:`name` (the
+        convention used by the ``rounded`` variants); subclasses with extra
+        decision-relevant parameters must append them (see
+        :class:`repro.policies.random_policy.RandomPolicy`).
+        """
+        cls = type(self)
+        return f"{cls.__module__}.{cls.__qualname__}:{self.name}"
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,10 +1,16 @@
 """The interactive search driver — the paper's ``FrameworkIGS`` (Algorithm 1).
 
-:func:`run_search` plays a policy against an oracle until the target is
-identified, recording the transcript, the number of questions, and the total
-price under a query-cost model.  A query budget guards against
-non-terminating policies; a correct policy never needs more than one question
-per node (every question eliminates at least one candidate).
+:func:`run_search` plays a policy — or a per-session cursor of a compiled
+plan (:mod:`repro.plan`) — against an oracle until the target is identified,
+recording the transcript, the number of questions, and the total price under
+a query-cost model.  A query budget guards against non-terminating policies;
+a correct policy never needs more than one question per node (every question
+eliminates at least one candidate).
+
+Passing a :class:`~repro.plan.CompiledPlan` (or
+:class:`~repro.plan.LazyPlan`) instead of a policy skips all per-session
+policy work: the search is a pointer walk over the plan's decision
+structure, which is how one shared plan serves many concurrent sessions.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle, Oracle
 from repro.core.policy import Policy
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import BudgetExceededError, SearchError
 
 
 @dataclass(frozen=True)
@@ -38,29 +44,80 @@ class SearchResult:
         return tuple(q for q, _ in self.transcript)
 
 
+def start_session(
+    policy,
+    hierarchy: Hierarchy | None,
+    distribution: TargetDistribution | None,
+    cost_model: QueryCostModel | None,
+    *,
+    reset: bool = True,
+) -> tuple[object, Hierarchy]:
+    """Normalise a policy or plan into a ready-to-drive session executor.
+
+    Returns ``(executor, hierarchy)`` where the executor implements the
+    ``propose()/observe()/done()/result()`` protocol: the policy itself
+    (reset unless ``reset`` is false) or a fresh
+    :class:`~repro.plan.SearchCursor` for plan-like inputs (anything with a
+    ``start()`` method).
+    """
+    if isinstance(policy, Policy):
+        if hierarchy is None:
+            raise SearchError("a policy needs an explicit hierarchy")
+        if reset:
+            policy.reset(hierarchy, distribution, cost_model or UnitCost())
+        return policy, hierarchy
+    start = getattr(policy, "start", None)
+    if callable(start):
+        plan_hierarchy = getattr(policy, "hierarchy", None)
+        if hierarchy is None:
+            hierarchy = plan_hierarchy
+        if hierarchy is None:
+            raise SearchError("plan carries no hierarchy and none was given")
+        if (
+            plan_hierarchy is not None
+            and hierarchy is not plan_hierarchy
+            and hierarchy.fingerprint() != plan_hierarchy.fingerprint()
+        ):
+            raise SearchError(
+                "the given hierarchy does not match the plan's node "
+                "indexing and edges (stale plan?)"
+            )
+        return start(), hierarchy
+    raise SearchError(
+        f"expected a Policy or a compiled plan, got {type(policy).__name__}"
+    )
+
+
 def run_search(
-    policy: Policy,
+    policy,
     oracle: Oracle,
-    hierarchy: Hierarchy,
+    hierarchy: Hierarchy | None = None,
     distribution: TargetDistribution | None = None,
     cost_model: QueryCostModel | None = None,
     *,
     max_queries: int | None = None,
     reset: bool = True,
 ) -> SearchResult:
-    """Drive ``policy`` against ``oracle`` until the target is identified.
+    """Drive a policy or compiled plan against ``oracle`` until done.
 
     Parameters
     ----------
-    policy, oracle, hierarchy, distribution, cost_model:
+    policy:
+        A :class:`~repro.core.policy.Policy`, or a plan-like object
+        (:class:`~repro.plan.CompiledPlan` / :class:`~repro.plan.LazyPlan`)
+        from which a fresh per-session cursor is started.
+    oracle, hierarchy, distribution, cost_model:
         The search configuration.  ``distribution`` is what the policy
-        *believes* about the target; the oracle holds the truth.
+        *believes* about the target; the oracle holds the truth.  Plans were
+        compiled with their configuration baked in, so for them
+        ``distribution`` is ignored and ``hierarchy`` defaults to the plan's
+        own; ``cost_model`` still prices the transcript.
     max_queries:
         Query budget; defaults to ``2 * n + 10``.  Exceeding it raises
         :class:`~repro.exceptions.BudgetExceededError` (a policy bug).
     reset:
         Pass ``False`` if the caller already reset the policy (e.g. to reuse
-        precomputed state).
+        precomputed state).  Ignored for plans (cursors start fresh).
 
     Returns
     -------
@@ -68,25 +125,27 @@ def run_search(
         With the returned node, query count, price, and transcript.
     """
     model = cost_model or UnitCost()
-    if reset:
-        policy.reset(hierarchy, distribution, model)
+    executor, hierarchy = start_session(
+        policy, hierarchy, distribution, model, reset=reset
+    )
     budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
     transcript: list[tuple[Hashable, bool]] = []
     total_price = 0.0
-    while not policy.done():
+    while not executor.done():
         if len(transcript) >= budget:
             raise BudgetExceededError(
-                f"policy {policy.name!r} ({type(policy).__name__}) exceeded "
-                f"the query budget of {budget} questions after asking "
-                f"{len(transcript)} questions without identifying the target"
+                f"policy {getattr(policy, 'name', '?')!r} "
+                f"({type(policy).__name__}) exceeded the query budget of "
+                f"{budget} questions after asking {len(transcript)} "
+                "questions without identifying the target"
             )
-        query = policy.propose()
+        query = executor.propose()
         answer = bool(oracle.answer(query))
         total_price += model.cost(query)
         transcript.append((query, answer))
-        policy.observe(answer)
+        executor.observe(answer)
     return SearchResult(
-        returned=policy.result(),
+        returned=executor.result(),
         num_queries=len(transcript),
         total_price=total_price,
         transcript=tuple(transcript),
@@ -94,14 +153,20 @@ def run_search(
 
 
 def search_for_target(
-    policy: Policy,
-    hierarchy: Hierarchy,
-    target: Hashable,
+    policy,
+    hierarchy: Hierarchy | None = None,
+    target: Hashable = None,
     distribution: TargetDistribution | None = None,
     cost_model: QueryCostModel | None = None,
     **kwargs,
 ) -> SearchResult:
     """Convenience wrapper: search with a truthful oracle for ``target``."""
+    if hierarchy is None:
+        if isinstance(policy, Policy):  # a policy's .hierarchy may be stale
+            raise SearchError("a policy needs an explicit hierarchy")
+        hierarchy = getattr(policy, "hierarchy", None)
+        if hierarchy is None:
+            raise SearchError("plan carries no hierarchy and none was given")
     oracle = ExactOracle(hierarchy, target)
     return run_search(
         policy, oracle, hierarchy, distribution, cost_model, **kwargs

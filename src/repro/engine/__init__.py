@@ -1,10 +1,11 @@
 """Vectorized multi-session simulation engine.
 
-Evaluate a policy against *all* targets of a hierarchy in one pass on flat
-numpy index arrays — the amortized, index-level evaluation path the paper's
-efficiency experiments (Fig. 6) presume — instead of one ``run_search`` per
-target.  See :mod:`repro.engine.driver` for the algorithm and
-:mod:`repro.engine.vector` for the policy protocol.
+Evaluate a policy — compiled once into a :class:`repro.plan.CompiledPlan` —
+against *all* targets of a hierarchy in one pass on flat numpy index arrays:
+the amortized, index-level evaluation path the paper's efficiency
+experiments (Fig. 6) presume, instead of one ``run_search`` per target.
+See :mod:`repro.engine.driver` for the algorithm and
+:mod:`repro.engine.vector` for the undo protocol and splitting kernels.
 """
 
 from repro.engine.driver import EngineResult, simulate_all_targets

@@ -6,27 +6,30 @@ target.  The seed implementation literally ran ``run_search`` once per
 target, resetting the policy and rebuilding an oracle every time — an
 ``O(n)``-per-target loop and the dominant cost of every experiment.
 
-:func:`simulate_all_targets` replaces that loop.  For every deterministic
-policy the searches over all targets form the policy's *decision tree*
-(Definitions 5–7): targets sharing an answer prefix share the exact same
-policy computation.  The engine therefore walks the decision structure once:
+:func:`simulate_all_targets` replaces that loop, and since the compile/
+execute split it runs entirely on :class:`~repro.plan.CompiledPlan` arrays:
 
-1. reset the policy a single time;
-2. at each decision point, ``propose`` once and split the current target
-   vector (a flat numpy index array) into the yes/no halves with the
-   hierarchy's reachability kernel (:func:`repro.engine.vector.make_splitter`);
-3. descend into each non-empty half, using exact answer reversal
-   (:meth:`~repro.core.policy.Policy.undo`) to backtrack — no replay, no
-   per-target reset;
-4. at a leaf, write the depth and accumulated price into per-target arrays.
+1. the policy is compiled once — the compiler proposes at each decision
+   point exactly once, backtracking with exact answer reversal
+   (:meth:`~repro.core.policy.Policy.undo`) — or the caller passes an
+   already-compiled (possibly cache-loaded) plan;
+2. the walk descends the plan's flat child arrays, splitting the current
+   target vector (a flat numpy index array) into the yes/no halves with the
+   hierarchy's reachability kernel (:func:`repro.engine.vector.make_splitter`)
+   and pruning empty halves;
+3. at a leaf, the depth and accumulated price land in per-target arrays.
 
-Every decision point is evaluated exactly once, so the total policy work is
-proportional to the number of *distinct* questions (≤ 2n − 1) instead of the
-sum of all per-target search depths, and the per-target bookkeeping is pure
-numpy.  Policies without native undo support fall back to a
-transcript-replay adapter (one ``run_search`` per target) so that every
-registry policy — and any third-party :class:`~repro.core.policy.Policy` —
-produces identical numbers through the same API.
+The per-target bookkeeping is pure numpy, and the policy work — zero for a
+shared/cached plan — is proportional to the number of *distinct* questions
+(≤ 2n − 1), not the sum of all per-target search depths.  Two special
+cases: sampled (Monte-Carlo) evaluation with no plan cache takes a fused
+target-pruned walk instead, so a handful of sampled targets never pays for
+the full compile; and policies without exact undo (the seeded random
+baseline) fall back to a transcript-replay adapter (one ``run_search`` per
+target) — compiling them by prefix replay would cost the same as that loop
+with nothing amortised.  Every registry policy, and any third-party
+:class:`~repro.core.policy.Policy`, produces identical numbers through the
+same API.
 """
 
 from __future__ import annotations
@@ -44,6 +47,14 @@ from repro.core.policy import Policy
 from repro.core.session import run_search
 from repro.engine.vector import is_vector_policy, make_splitter
 from repro.exceptions import BudgetExceededError, SearchError
+from repro.plan import (
+    ROOT,
+    CompiledPlan,
+    as_plan_cache,
+    compile_policy,
+    get_default_cache,
+)
+from repro.plan.compile import check_leaf
 
 
 @dataclass(frozen=True)
@@ -64,9 +75,11 @@ class EngineResult:
     queries: np.ndarray = field(repr=False)
     #: Total price per node index; ``nan`` where not evaluated.
     prices: np.ndarray = field(repr=False)
-    #: ``"vector"`` (one-pass walk) or ``"replay"`` (per-target adapter).
-    method: str = "vector"
-    #: Decision points walked (vector) or total queries simulated (replay).
+    #: ``"plan"`` (compiled-plan walk), ``"vector"`` (target-pruned fused
+    #: walk for uncached sampled evaluation), or ``"replay"`` (per-target
+    #: adapter).
+    method: str = "plan"
+    #: Decision points visited (plan/vector) or queries simulated (replay).
     decision_nodes: int = 0
 
     # ------------------------------------------------------------------
@@ -119,16 +132,17 @@ class EngineResult:
 
 
 def simulate_all_targets(
-    policy: Policy,
-    hierarchy: Hierarchy,
+    policy: Policy | CompiledPlan,
+    hierarchy: Hierarchy | None = None,
     distribution: TargetDistribution | None = None,
     cost_model: QueryCostModel | None = None,
     *,
     targets: Iterable[Hashable] | None = None,
     check_correctness: bool = True,
     max_queries: int | None = None,
+    plan_cache=None,
 ) -> EngineResult:
-    """Simulate ``policy`` against every target in one pass.
+    """Simulate a policy or compiled plan against every target in one pass.
 
     Produces, for each target, exactly the query count and total price that
     ``run_search`` with an :class:`ExactOracle` would produce — the parity
@@ -136,15 +150,42 @@ def simulate_all_targets(
 
     Parameters
     ----------
+    policy:
+        A policy (compiled on the fly when it supports exact undo) or an
+        already-compiled :class:`~repro.plan.CompiledPlan`.
+    hierarchy:
+        Required for policies; optional for plans (defaults to the plan's
+        own hierarchy, and must have the same node indexing if given).
     targets:
         Restrict the evaluation to these labels (duplicates collapse; the
-        walk prunes branches no requested target can reach).  Default: all
-        ``n`` nodes.
+        walk prunes branches no requested target can reach, and — with no
+        plan or cache in play — skips plan compilation entirely in favour
+        of a fused pruned walk).  Default: all ``n`` nodes.
     check_correctness:
         Verify the policy identifies every simulated target.
     max_queries:
         Per-search budget, defaulting to ``2 n + 10`` as in ``run_search``.
+    plan_cache:
+        A :class:`~repro.plan.PlanCache` or directory path; compiled plans
+        are loaded from / stored into it by configuration content hash.
+        ``None`` falls back to :func:`repro.plan.get_default_cache`.
     """
+    plan: CompiledPlan | None = None
+    if isinstance(policy, CompiledPlan):
+        plan = policy
+        if hierarchy is None:
+            hierarchy = plan.hierarchy
+        elif (
+            hierarchy is not plan.hierarchy
+            and hierarchy.fingerprint() != plan.hierarchy.fingerprint()
+        ):
+            raise SearchError(
+                "the given hierarchy does not match the plan's node "
+                "indexing and edges"
+            )
+    elif hierarchy is None:
+        raise SearchError("simulate_all_targets needs a hierarchy for a policy")
+
     model = cost_model or UnitCost()
     n = hierarchy.n
     if targets is None:
@@ -161,10 +202,49 @@ def simulate_all_targets(
     queries = np.full(n, -1, dtype=np.int64)
     prices = np.full(n, np.nan, dtype=float)
 
-    if is_vector_policy(policy):
-        method = "vector"
-        nodes = _vector_walk(
-            policy, hierarchy, distribution, model, target_ix,
+    if plan is None and is_vector_policy(policy):
+        cache = as_plan_cache(plan_cache) or get_default_cache()
+        if cache is None and target_ix.size < n:
+            # Sampled (Monte-Carlo) evaluation with nothing to reuse:
+            # compiling would visit all <= 2n - 1 decision points, while the
+            # fused walk below only proposes along branches the requested
+            # targets can reach — much cheaper when targets << n.
+            nodes = _pruned_walk(
+                policy, hierarchy, distribution, model, target_ix,
+                queries, prices, budget, check_correctness,
+            )
+            return EngineResult(
+                policy=policy.name,
+                hierarchy=hierarchy,
+                target_ix=target_ix,
+                queries=queries,
+                prices=prices,
+                method="vector",
+                decision_nodes=nodes,
+            )
+        if cache is not None:
+            plan = cache.get_or_compile(
+                policy,
+                hierarchy,
+                distribution,
+                model,
+                max_depth=budget,
+                validate=check_correctness,
+            )
+        else:
+            plan = compile_policy(
+                policy,
+                hierarchy,
+                distribution,
+                model,
+                max_depth=budget,
+                validate=check_correctness,
+            )
+
+    if plan is not None:
+        method = "plan"
+        nodes = _plan_walk(
+            plan, hierarchy, model, target_ix,
             queries, prices, budget, check_correctness,
         )
     else:
@@ -174,7 +254,7 @@ def simulate_all_targets(
             queries, prices, budget, check_correctness,
         )
     return EngineResult(
-        policy=policy.name,
+        policy=plan.policy_name if plan is not None else policy.name,
         hierarchy=hierarchy,
         target_ix=target_ix,
         queries=queries,
@@ -185,9 +265,70 @@ def simulate_all_targets(
 
 
 # ----------------------------------------------------------------------
-# The one-pass vectorized walk
+# The one-pass walk over compiled-plan arrays
 # ----------------------------------------------------------------------
-def _vector_walk(
+def _plan_walk(
+    plan: CompiledPlan,
+    hierarchy: Hierarchy,
+    model: QueryCostModel,
+    target_ix: np.ndarray,
+    queries: np.ndarray,
+    prices: np.ndarray,
+    budget: int,
+    check: bool,
+) -> int:
+    """Descend the plan, carrying target subsets; no policy code runs."""
+    split = make_splitter(hierarchy, len(target_ix))
+    price_vec = model.as_array(hierarchy)
+    plan_query = plan.query_ix
+    plan_yes = plan.yes_child
+    plan_no = plan.no_child
+    plan_target = plan.target_ix
+    visited = 0
+
+    # [plan node, target subset, depth, accumulated price]
+    stack: list[tuple[int, np.ndarray, int, float]] = [
+        (ROOT, target_ix, 0, 0.0)
+    ]
+    while stack:
+        node, subset, depth, price = stack.pop()
+        leaf_target = int(plan_target[node])
+        if leaf_target >= 0:
+            if check:
+                check_leaf(plan.policy_name, hierarchy, subset, leaf_target)
+            queries[subset] = depth
+            prices[subset] = price
+            continue
+        if depth >= budget:
+            raise BudgetExceededError(
+                f"{plan.policy_name} exceeded the query budget of {budget} "
+                f"questions after {depth} questions in the plan walk"
+            )
+        visited += 1
+        qix = int(plan_query[node])
+        yes, no = split(qix, subset)
+        child_price = price + float(price_vec[qix])
+        for branch, child, sub in (
+            ("yes", int(plan_yes[node]), yes),
+            ("no", int(plan_no[node]), no),
+        ):
+            if not sub.size:
+                continue
+            if child < 0:
+                raise SearchError(
+                    f"plan of {plan.policy_name!r} has no {branch}-branch "
+                    f"for question {hierarchy.label(qix)!r} but "
+                    f"{sub.size} requested target(s) need it; was the plan "
+                    "compiled on a different hierarchy?"
+                )
+            stack.append((child, sub, depth + 1, child_price))
+    return visited
+
+
+# ----------------------------------------------------------------------
+# Target-pruned fused walk (uncached sampled evaluation)
+# ----------------------------------------------------------------------
+def _pruned_walk(
     policy: Policy,
     hierarchy: Hierarchy,
     distribution: TargetDistribution | None,
@@ -198,6 +339,14 @@ def _vector_walk(
     budget: int,
     check: bool,
 ) -> int:
+    """Walk the decision structure directly, pruned to the given targets.
+
+    The compile walk and the plan walk fused into one pass: the policy is
+    driven with exact answer reversal, but branches none of the requested
+    targets can reach are never explored — the policy only works along the
+    sampled decision paths.  Used when compiling the full plan would be
+    wasted (restricted targets, no cache to make the plan reusable).
+    """
     split = make_splitter(hierarchy, len(target_ix))
     price_vec = model.as_array(hierarchy)
     decision_nodes = 0
@@ -205,15 +354,8 @@ def _vector_walk(
     def settle(current: np.ndarray, depth: int, price: float) -> None:
         """Record a leaf of the decision structure."""
         if check:
-            returned = policy.result()
-            rix = hierarchy.index(returned)
-            wrong = current[current != rix]
-            if wrong.size:
-                target = hierarchy.label(int(wrong[0]))
-                raise SearchError(
-                    f"{policy.name} returned {returned!r} "
-                    f"for target {target!r}"
-                )
+            rix = hierarchy.index(policy.result())
+            check_leaf(policy.name, hierarchy, current, rix)
         queries[current] = depth
         prices[current] = price
 
@@ -233,8 +375,6 @@ def _vector_walk(
         qix = hierarchy.index(query)
         decision_nodes += 1
         yes, no = split(qix, current)
-        # The yes/no exploration order is irrelevant to the recorded costs
-        # but keeping (yes, no) mirrors run_search transcripts for debugging.
         branches = [
             (answer, subset)
             for answer, subset in ((True, yes), (False, no))
@@ -270,7 +410,7 @@ def _vector_walk(
 
 
 # ----------------------------------------------------------------------
-# Transcript-replay adapter (policies without exact undo)
+# Transcript-replay adapter (policies the compiler cannot walk)
 # ----------------------------------------------------------------------
 def _replay_targets(
     policy: Policy,

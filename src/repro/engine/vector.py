@@ -1,15 +1,16 @@
 """The index-level vector protocol and target-splitting kernels.
 
-The engine walks a policy's decision structure once, carrying the set of
-still-consistent targets as a flat array of node indices.  Two ingredients
-make that possible:
+The plan compiler (:func:`repro.plan.compile_policy`) walks a policy's
+decision structure once, and the engine then carries the set of
+still-consistent targets through the compiled plan as a flat array of node
+indices.  Two ingredients make that possible:
 
 * :class:`VectorPolicy` — the protocol a policy must satisfy for the
-  one-pass walk: the usual interactive protocol plus exact answer reversal
-  (:meth:`undo`).  ``GreedyTree``, ``GreedyDAG``, ``TopDown``, ``MIGS``,
-  ``WIGS``, and ``StaticTree`` implement it natively (``supports_undo``);
-  any other deterministic policy is handled by the engine's transcript-replay
-  adapter instead.
+  one-pass compile walk: the usual interactive protocol plus exact answer
+  reversal (:meth:`undo`).  ``GreedyTree``, ``GreedyDAG``, ``TopDown``,
+  ``MIGS``, ``WIGS``, ``StaticTree``, ``GreedyNaive``, and ``CostGreedy``
+  implement it natively (``supports_undo``); any other deterministic policy
+  is handled by the engine's transcript-replay adapter instead.
 
 * :func:`make_splitter` — a per-hierarchy kernel splitting a target-index
   array on a query node into (yes, no) halves, because the exact oracle's
@@ -36,14 +37,14 @@ Splitter = Callable[[int, np.ndarray], tuple[np.ndarray, np.ndarray]]
 
 @runtime_checkable
 class VectorPolicy(Protocol):
-    """An interactive policy the engine can drive in one vectorized pass.
+    """An interactive policy compilable in one pass (one reset, no replay).
 
     Beyond the base interactive protocol this requires *exact answer
     reversal*: after ``observe(a)`` — with undo journaling enabled —
     ``undo()`` must restore the policy to the state it had right after the
-    corresponding ``propose()``, bit-exact, so the engine can explore the
-    sibling answer.  :class:`repro.core.policy.Policy` subclasses advertise
-    this with ``supports_undo = True``.
+    corresponding ``propose()``, bit-exact, so the plan compiler can explore
+    the sibling answer.  :class:`repro.core.policy.Policy` subclasses
+    advertise this with ``supports_undo = True``.
     """
 
     supports_undo: bool
@@ -64,7 +65,7 @@ class VectorPolicy(Protocol):
 
 
 def is_vector_policy(policy: object) -> bool:
-    """True when the engine can drive ``policy`` through the one-pass walk."""
+    """True when ``policy`` compiles through the one-pass undo walk."""
     return bool(getattr(policy, "supports_undo", False)) and callable(
         getattr(policy, "undo", None)
     )

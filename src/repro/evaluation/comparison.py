@@ -12,6 +12,7 @@ from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
 from repro.evaluation.expected_cost import EvaluationResult, evaluate_expected_cost
+from repro.plan import CompiledPlan
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,7 @@ class Comparison:
 
 
 def compare_policies(
-    policies: Sequence[Policy],
+    policies: Sequence[Policy | CompiledPlan],
     hierarchy: Hierarchy,
     distribution: TargetDistribution,
     *,
@@ -50,17 +51,19 @@ def compare_policies(
     cost_model: QueryCostModel | None = None,
     max_targets: int | None = None,
     rng: np.random.Generator | None = None,
+    plan_cache=None,
 ) -> Comparison:
-    """Evaluate every policy under the same configuration.
+    """Evaluate every policy (or pre-compiled plan) under one configuration.
 
     When Monte-Carlo evaluation kicks in (large support and ``max_targets``
     set), every policy is measured on the *same* sampled target set, so the
     comparison stays paired.
 
-    Each policy is scored through the vectorized engine (one pass over its
-    decision structure via :func:`repro.evaluation.evaluate_expected_cost`),
-    so comparing k policies costs k engine walks, not ``k * |targets|``
-    interactive searches.
+    Each policy is compiled once and scored by walking its plan
+    (:func:`repro.evaluation.evaluate_expected_cost`), so comparing k
+    policies costs k plan walks, not ``k * |targets|`` interactive
+    searches; with ``plan_cache`` set, repeated runs of the same
+    configuration skip the compilations too.
     """
     targets = None
     if max_targets is not None and len(distribution.support) > max_targets:
@@ -74,6 +77,7 @@ def compare_policies(
             distribution,
             cost_model=cost_model,
             targets=targets,
+            plan_cache=plan_cache,
         )
         for policy in policies
     )

@@ -8,10 +8,13 @@ experiments keep DAG evaluation affordable.
 
 All per-target costs come from the vectorized simulation engine
 (:func:`repro.engine.simulate_all_targets`): one pass over the policy's
-decision structure on flat index arrays, instead of one ``run_search`` —
-with its per-target policy reset and oracle build — per target.  The
-numbers are identical to the per-target loop (the engine's parity tests
-assert equality); only the time to produce them changed.
+compiled plan on flat index arrays, instead of one ``run_search`` — with
+its per-target policy reset and oracle build — per target.  The numbers are
+identical to the per-target loop (the engine's parity tests assert
+equality); only the time to produce them changed.  A pre-compiled
+:class:`~repro.plan.CompiledPlan` can be passed in place of the policy to
+reuse one compilation across evaluations, and ``plan_cache`` persists
+compilations across runs.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
 from repro.engine import simulate_all_targets
 from repro.exceptions import SearchError
+from repro.plan import CompiledPlan
 
 
 @dataclass(frozen=True)
@@ -43,7 +47,7 @@ class EvaluationResult:
 
 
 def evaluate_expected_cost(
-    policy: Policy,
+    policy: Policy | CompiledPlan,
     hierarchy: Hierarchy,
     distribution: TargetDistribution,
     *,
@@ -53,8 +57,9 @@ def evaluate_expected_cost(
     targets: list[Hashable] | None = None,
     keep_per_target: bool = False,
     check_correctness: bool = True,
+    plan_cache=None,
 ) -> EvaluationResult:
-    """Exact or Monte-Carlo expected cost of ``policy``.
+    """Exact or Monte-Carlo expected cost of a policy or compiled plan.
 
     Parameters
     ----------
@@ -68,6 +73,9 @@ def evaluate_expected_cost(
         policy faces the same sample.  Duplicates count with multiplicity.
     check_correctness:
         Assert the policy returns the true target on every simulated search.
+    plan_cache:
+        Forwarded to the engine: a :class:`~repro.plan.PlanCache` or
+        directory path for persisting compiled plans across runs.
     """
     model = cost_model or UnitCost()
     support = sorted(distribution.support, key=str)
@@ -100,6 +108,7 @@ def evaluate_expected_cost(
         model,
         targets=targets,
         check_correctness=check_correctness,
+        plan_cache=plan_cache,
     )
     # Duplicate Monte-Carlo samples index the same engine entry repeatedly,
     # so the mean below weighs each target by its sample multiplicity.
@@ -120,7 +129,7 @@ def evaluate_expected_cost(
     if keep_per_target:
         per_target = {z: int(q) for z, q in zip(targets, per_query)}
     return EvaluationResult(
-        policy=policy.name,
+        policy=engine.policy,
         expected_queries=total_queries,
         expected_price=total_price,
         num_targets=len(targets),
@@ -130,7 +139,7 @@ def evaluate_expected_cost(
 
 
 def worst_case_cost(
-    policy: Policy,
+    policy: Policy | CompiledPlan,
     hierarchy: Hierarchy,
     distribution: TargetDistribution | None = None,
     *,

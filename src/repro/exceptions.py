@@ -51,6 +51,10 @@ class SearchError(ReproError):
     """An interactive search could not be completed."""
 
 
+class PlanError(ReproError):
+    """A compiled plan could not be built, loaded, or executed."""
+
+
 class BudgetExceededError(SearchError):
     """The search exceeded its query budget before identifying the target.
 

@@ -11,11 +11,11 @@ exact decision-tree arithmetic:
 
 from __future__ import annotations
 
-from repro.core.decision_tree import build_decision_tree
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.experiments.reporting import Table
 from repro.experiments.scale import SMALL, Scale
+from repro.plan import compile_policy
 from repro.policies import GreedyTreePolicy, TopDownPolicy, WigsPolicy
 
 #: Node proportions from Fig. 1.
@@ -58,16 +58,16 @@ def run(scale: Scale = SMALL, seed: int = 0) -> Table:
     )
     paper = {"GreedyTree": "2.04 / 204", "WIGS": "2.60 / 260", "TopDown": "-"}
     for factory in (GreedyTreePolicy, WigsPolicy, TopDownPolicy):
-        tree = build_decision_tree(factory, hierarchy, distribution)
-        tree.validate()
-        expected = tree.expected_cost(distribution)
+        plan = compile_policy(factory(), hierarchy, distribution)
+        plan.validate()
+        expected = plan.expected_cost(distribution)
         table.add_row(
             {
-                "Policy": factory().name,
+                "Policy": plan.policy_name,
                 "Expected cost": expected,
                 "Batch of 100": round(expected * 100, 1),
-                "Worst case": tree.worst_case_cost(),
-                "Paper": paper[factory().name],
+                "Worst case": plan.worst_case_cost(),
+                "Paper": paper[plan.policy_name],
             }
         )
     return table

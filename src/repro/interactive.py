@@ -1,10 +1,18 @@
 """Interactive console categorisation — the paper's use case as a tool.
 
-`console_search` drives any policy with a *human* oracle: it prints each
-reachability question and reads a yes/no answer, exactly the workflow a
-crowdsourcing worker performs.  The CLI exposes it as::
+`console_search` drives any policy — or a compiled plan — with a *human*
+oracle: it prints each reachability question and reads a yes/no answer,
+exactly the workflow a crowdsourcing worker performs.  The CLI exposes it
+as::
 
     python -m repro interactive --edges hierarchy.tsv
+
+The session runs on a plan cursor (:class:`repro.plan.SearchCursor`): a
+policy argument is wrapped in a memoizing :class:`repro.plan.LazyPlan`, a
+plan argument (e.g. loaded via ``CompiledPlan.load``) is used as-is.
+Because cursor backtracking is exact and free, the console also accepts
+``undo`` (or ``u``) to take back the previous answer — mistyped answers no
+longer ruin a long session, for *any* policy.
 
 Input and output callables are injectable, so the loop is fully testable
 with scripted answers (see ``tests/test_interactive.py``).
@@ -20,9 +28,11 @@ from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
 from repro.core.session import SearchResult
 from repro.exceptions import SearchError
+from repro.plan import LazyPlan
 
 _YES = {"y", "yes", "1", "true"}
 _NO = {"n", "no", "0", "false"}
+_UNDO = {"u", "undo"}
 
 
 def parse_answer(text: str) -> bool:
@@ -36,8 +46,8 @@ def parse_answer(text: str) -> bool:
 
 
 def console_search(
-    policy: Policy,
-    hierarchy: Hierarchy,
+    policy,
+    hierarchy: Hierarchy | None = None,
     distribution: TargetDistribution | None = None,
     cost_model: QueryCostModel | None = None,
     *,
@@ -47,36 +57,79 @@ def console_search(
 ) -> SearchResult:
     """Categorise one object by asking a human the policy's questions.
 
-    Unparseable answers are re-asked (they do not count as questions); the
-    query budget still bounds the total number of *answered* questions.
+    ``policy`` may be a :class:`~repro.core.policy.Policy` or a plan-like
+    object with ``start()``.  Unparseable answers are re-asked (they do not
+    count as questions); ``undo`` takes back the previous answer and refunds
+    its price; the query budget still bounds the total number of *active*
+    answered questions.
     """
     if input_fn is None:
         input_fn = input  # resolved at call time so tests can patch builtins
     model = cost_model or UnitCost()
-    policy.reset(hierarchy, distribution, model)
+    wrapped: Policy | None = None
+    if isinstance(policy, Policy):
+        if hierarchy is None:
+            raise SearchError("a policy needs an explicit hierarchy")
+        wrapped = policy
+        plan = LazyPlan(policy, hierarchy, distribution, model)
+    else:
+        plan = policy
+        if hierarchy is None:
+            hierarchy = plan.hierarchy
+    try:
+        return _drive_console(
+            plan, hierarchy, model, input_fn, print_fn, max_queries
+        )
+    finally:
+        # The LazyPlan dedicated the caller's policy to itself (journaling
+        # on for undo-capable policies); hand it back clean.
+        if wrapped is not None and wrapped.supports_undo:
+            wrapped.enable_undo(False)
+
+
+def _drive_console(
+    plan,
+    hierarchy: Hierarchy,
+    model: QueryCostModel,
+    input_fn: Callable[[str], str],
+    print_fn: Callable[[str], None],
+    max_queries: int | None,
+) -> SearchResult:
+    cursor = plan.start()
     budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
     transcript: list[tuple[Hashable, bool]] = []
     total_price = 0.0
     print_fn(
         f"Categorising against {hierarchy.n} categories "
-        f"(root: {hierarchy.root!r}). Answer yes/no."
+        f"(root: {hierarchy.root!r}). Answer yes/no (or 'undo')."
     )
-    while not policy.done():
+    while not cursor.done():
         if len(transcript) >= budget:
             raise SearchError(f"exceeded the budget of {budget} questions")
-        query = policy.propose()
+        query = cursor.propose()
         while True:
             raw = input_fn(f"[{len(transcript) + 1}] is it a {query!r}? ")
+            token = raw.strip().lower()
+            if token in _UNDO:
+                if not transcript:
+                    print_fn("  nothing to undo yet")
+                    continue
+                cursor.undo()
+                undone_query, _ = transcript.pop()
+                total_price -= model.cost(undone_query)
+                print_fn(f"  took back the answer on {undone_query!r}")
+                query = cursor.propose()
+                continue
             try:
                 answer = parse_answer(raw)
                 break
             except SearchError:
-                print_fn("  please answer yes or no")
+                print_fn("  please answer yes or no (or 'undo')")
         transcript.append((query, answer))
         total_price += model.cost(query)
-        policy.observe(answer)
+        cursor.observe(answer)
     result = SearchResult(
-        returned=policy.result(),
+        returned=cursor.result(),
         num_queries=len(transcript),
         total_price=total_price,
         transcript=tuple(transcript),

@@ -6,6 +6,14 @@ distribution; the revealed category then updates the learner.  The per-block
 average cost traces out the paper's convergence curves: the online curve
 starts near the uniform-prior cost and converges to the offline
 (true-distribution) cost.
+
+Objects are served from the policy's *current plan* — a memoizing
+:class:`~repro.plan.LazyPlan` rebuilt only when the learned distribution is
+re-snapshot (``refresh_every``).  Between refreshes, every object whose
+answer path was seen before is a pure pointer walk with zero policy work;
+only genuinely new paths advance the policy.  The recorded costs are
+bit-identical to driving the policy directly (the plan replays its exact
+decisions); only the serving time changes.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.core.policy import Policy
 from repro.core.session import run_search
 from repro.exceptions import SearchError
 from repro.online.learner import EmpiricalLearner
+from repro.plan import LazyPlan
 
 
 @dataclass(frozen=True)
@@ -62,27 +71,35 @@ def simulate_online_labeling(
     if refresh_every <= 0:
         raise SearchError("refresh_every must be positive")
     learner = EmpiricalLearner(hierarchy, smoothing=smoothing)
-    distribution = learner.snapshot()
+    plan: LazyPlan | None = None
     block_costs: list[float] = []
     block_total = 0
     in_block = 0
-    for position, category in enumerate(stream):
-        if position % refresh_every == 0:
-            distribution = learner.snapshot()
-        oracle = ExactOracle(hierarchy, category)
-        result = run_search(policy, oracle, hierarchy, distribution)
-        if result.returned != category:
-            raise SearchError(
-                f"online search returned {result.returned!r} "
-                f"for object of category {category!r}"
-            )
-        learner.observe(category)
-        block_total += result.num_queries
-        in_block += 1
-        if in_block == block_size:
-            block_costs.append(block_total / in_block)
-            block_total = 0
-            in_block = 0
+    try:
+        for position, category in enumerate(stream):
+            if plan is None or position % refresh_every == 0:
+                # Distribution refresh: the old plan's decisions are stale,
+                # so recompile — lazily, paying only for the served paths.
+                plan = LazyPlan(policy, hierarchy, learner.snapshot())
+            oracle = ExactOracle(hierarchy, category)
+            result = run_search(plan, oracle, hierarchy)
+            if result.returned != category:
+                raise SearchError(
+                    f"online search returned {result.returned!r} "
+                    f"for object of category {category!r}"
+                )
+            learner.observe(category)
+            block_total += result.num_queries
+            in_block += 1
+            if in_block == block_size:
+                block_costs.append(block_total / in_block)
+                block_total = 0
+                in_block = 0
+    finally:
+        # The LazyPlans dedicated the caller's policy to themselves
+        # (journaling on for undo-capable policies); hand it back clean.
+        if policy.supports_undo:
+            policy.enable_undo(False)
     if in_block:
         block_costs.append(block_total / in_block)
     return OnlineRunResult(

@@ -1,0 +1,40 @@
+"""Compile-once / execute-many plans for deterministic search policies.
+
+The public surface of the compile/execute split:
+
+* :func:`compile_policy` — freeze a policy's whole interactive behaviour
+  into an immutable, picklable :class:`CompiledPlan`;
+* :meth:`CompiledPlan.start` — a tiny per-session :class:`SearchCursor`
+  (``propose/observe/done/result`` plus exact ``undo``), any number of which
+  execute one shared plan concurrently;
+* :class:`LazyPlan` — the memoizing variant for serve-while-compiling loops
+  (online labelling, interactive consoles);
+* :class:`PlanCache` / :func:`plan_key` — content-addressed persistence so
+  repeated runs skip identical compilations.
+"""
+
+from repro.plan.cache import (
+    DEFAULT_CACHE_DIR,
+    PlanCache,
+    as_plan_cache,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.plan.compile import compile_policy, plan_key
+from repro.plan.lazy import LazyPlan
+from repro.plan.plan import NO_PATH, ROOT, CompiledPlan, SearchCursor
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "NO_PATH",
+    "ROOT",
+    "CompiledPlan",
+    "LazyPlan",
+    "PlanCache",
+    "SearchCursor",
+    "as_plan_cache",
+    "compile_policy",
+    "get_default_cache",
+    "plan_key",
+    "set_default_cache",
+]

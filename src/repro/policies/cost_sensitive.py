@@ -12,7 +12,12 @@ of Theorem 4.
 
 The implementation is the naive ``O(n m)``-per-round instantiation (the paper
 does not give an accelerated variant for heterogeneous prices); it is meant
-for the moderate sizes of the CAIGS experiments and examples.
+for the moderate sizes of the CAIGS experiments and examples.  It keeps its
+weight and price vectors immutable across a search and journals candidate-
+graph updates, so it supports *exact* answer reversal — the plan compiler
+(:func:`repro.plan.compile_policy`) and the engine walk its decision
+structure in one pass instead of replaying one search per target, which is
+what makes CAIGS experiments amortise like the unit-cost ones.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ class CostSensitiveGreedyPolicy(Policy):
 
     name = "CostGreedy"
     uses_distribution = True
+    supports_undo = True
 
     def __init__(self, *, rounded: bool = False) -> None:
         super().__init__()
@@ -81,7 +87,18 @@ class CostSensitiveGreedyPolicy(Policy):
         return self.hierarchy.label(best)
 
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
-        self._cg.apply(query, answer)
+        # The weight/price vectors never change during a search, so the
+        # candidate graph's journal is the policy's entire undo payload.
+        if self._undo_enabled:
+            self._undo_log.append(
+                (query, answer, self._cg.apply_journaled(query, answer))
+            )
+        else:
+            self._cg.apply(query, answer)
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        eliminated, root = payload
+        self._cg.restore(eliminated, root)
 
     def objective_of(self, label: Hashable) -> float:
         """``p(G_u) p(G \\ G_u) / c(u)`` under the current candidate graph."""

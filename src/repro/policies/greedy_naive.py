@@ -34,6 +34,7 @@ class GreedyNaivePolicy(Policy):
 
     name = "GreedyNaive"
     uses_distribution = True
+    supports_undo = True
 
     def __init__(self, *, rounded: bool = False) -> None:
         super().__init__()
@@ -84,7 +85,18 @@ class GreedyNaivePolicy(Policy):
         return float(self._weights[self._cg.reachable_ix(v)].sum())
 
     def _apply_answer(self, query: Hashable, answer: bool) -> None:
-        self._cg.apply(query, answer)
+        # The weight vector is immutable during a search; the candidate
+        # graph's journal alone reverts an answer exactly.
+        if self._undo_enabled:
+            self._undo_log.append(
+                (query, answer, self._cg.apply_journaled(query, answer))
+            )
+        else:
+            self._cg.apply(query, answer)
+
+    def _revert_answer(self, query: Hashable, answer: bool, payload) -> None:
+        eliminated, root = payload
+        self._cg.restore(eliminated, root)
 
     # ------------------------------------------------------------------
     # Introspection for tests

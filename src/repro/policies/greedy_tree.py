@@ -62,6 +62,12 @@ class GreedyTreePolicy(Policy):
         if rounded:
             self.name = "GreedyTree(rounded)"
 
+    def fingerprint(self) -> str:
+        # heap_children is not reflected in the name but can break weight
+        # ties differently (heap order vs child-list order), producing a
+        # different decision structure — it must split the plan-cache key.
+        return f"{super().fingerprint()}:heap_children={self.heap_children}"
+
     # ------------------------------------------------------------------
     # Algorithm 5: SetWeightDFS
     # ------------------------------------------------------------------

@@ -25,6 +25,11 @@ class RandomPolicy(Policy):
         super().__init__()
         self.seed = seed
 
+    def fingerprint(self) -> str:
+        # The seed changes every decision but not the name; without this a
+        # plan cache would serve one seed's plan for another.
+        return f"{super().fingerprint()}:seed={self.seed}"
+
     def _reset_state(self) -> None:
         self._cg = CandidateGraph(self.hierarchy)
         self._rng = np.random.default_rng(self.seed)

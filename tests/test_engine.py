@@ -3,8 +3,9 @@
 The contract under test: :func:`repro.engine.simulate_all_targets` produces
 *exactly* the query counts and total prices of the per-target ``run_search``
 loop — for every registry policy, on the Fig. 1 vehicle hierarchy, random
-trees, and random DAGs — while walking each decision point only once for
-policies with native undo support.
+trees, and random DAGs — while proposing at each decision point only once
+for policies with native undo support (compiled to a plan and walked on
+flat arrays).
 """
 
 from __future__ import annotations
@@ -31,8 +32,19 @@ from repro.testing import (
     random_distribution,
 )
 
-#: Policies that must take the one-pass vectorized walk.
-VECTOR_POLICIES = ("topdown", "migs", "wigs", "greedy-tree", "greedy-dag")
+#: Policies that must take the one-pass compiled-plan walk.  CostGreedy and
+#: GreedyNaive journal their candidate-graph updates (exact undo), so CAIGS
+#: experiments amortise like the unit-cost ones; only the seeded random
+#: baseline still replays one search per target.
+PLAN_POLICIES = (
+    "topdown",
+    "migs",
+    "wigs",
+    "greedy-tree",
+    "greedy-dag",
+    "greedy-naive",
+    "cost-greedy",
+)
 
 TREE_ONLY = {"greedy-tree"}
 
@@ -65,7 +77,7 @@ class TestRegistryParityVehicle:
         engine = _assert_parity(
             policy, vehicle_hierarchy, vehicle_distribution
         )
-        expected = "vector" if name in VECTOR_POLICIES else "replay"
+        expected = "plan" if name in PLAN_POLICIES else "replay"
         assert engine.method == expected
 
 
@@ -103,7 +115,7 @@ class TestStaticTree:
         engine = _assert_parity(
             policy, vehicle_hierarchy, vehicle_distribution
         )
-        assert engine.method == "vector"
+        assert engine.method == "plan"
         # The compiled tree replays the compiled policy's exact behaviour.
         direct = simulate_all_targets(
             GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
@@ -206,9 +218,31 @@ class TestUndoProtocol:
             policy.undo()
 
     def test_enable_undo_rejected_without_support(self):
-        policy = make_policy("greedy-naive")
+        policy = make_policy("random")
         with pytest.raises(PolicyError, match="does not support undo"):
             policy.enable_undo(True)
+
+    @pytest.mark.parametrize("name", ["cost-greedy", "greedy-naive"])
+    def test_candidate_graph_undo_restores_exact_state(self, name):
+        """The CAIGS-relevant policies revert answers bit-exactly."""
+        hierarchy = make_random_dag(24, seed=6)
+        distribution = random_distribution(hierarchy, 6)
+        policy = make_policy(name)
+        policy.enable_undo(True)
+        policy.reset(hierarchy, distribution)
+
+        def snapshot():
+            cg = policy._cg
+            return (bytes(cg._alive), cg._root, cg._n_alive)
+
+        for answer in (False, True):
+            query = policy.propose()
+            before = snapshot()
+            policy.observe(answer)
+            policy.undo()
+            assert snapshot() == before
+            assert policy.propose() == query
+            policy.observe(answer)  # advance for the next round
 
     def test_journaling_off_by_default(self):
         """Plain searches must not accumulate undo records."""

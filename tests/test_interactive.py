@@ -80,6 +80,68 @@ class TestConsoleSearch:
                 max_queries=2,
             )
 
+    def test_undo_takes_back_an_answer(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        """A mistyped answer is reverted exactly and refunded.
+
+        The greedy plan's first question on the Fig. 1 configuration is
+        'Maxima' (asserted in the analysis tests): the worker fat-fingers
+        "no", takes it back, and answers "yes" — one charged question.
+        """
+        answers = iter(["no", "undo", "yes"])
+        printed: list[str] = []
+        result = console_search(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            vehicle_distribution,
+            input_fn=lambda _: next(answers),
+            print_fn=printed.append,
+        )
+        assert result.returned == "Maxima"
+        assert any("took back" in line for line in printed)
+        # Price and transcript reflect only the answer that stood.
+        assert result.num_queries == 1
+        assert result.total_price == 1.0
+        assert result.transcript == (("Maxima", True),)
+
+    def test_undo_with_nothing_to_undo(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        human = ScriptedHuman(vehicle_hierarchy, "Honda")
+        first = {"done": False}
+
+        def stubborn(prompt: str) -> str:
+            if not first["done"]:
+                first["done"] = True
+                return "undo"
+            return human(prompt)
+
+        printed: list[str] = []
+        result = console_search(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            vehicle_distribution,
+            input_fn=stubborn,
+            print_fn=printed.append,
+        )
+        assert result.returned == "Honda"
+        assert any("nothing to undo" in line for line in printed)
+
+    def test_serves_a_compiled_plan(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        from repro.plan import compile_policy
+
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        human = ScriptedHuman(vehicle_hierarchy, "Maxima")
+        result = console_search(
+            plan, input_fn=human, print_fn=lambda _: None
+        )
+        assert result.returned == "Maxima"
+
 
 class TestAnalysis:
     def test_vehicle_analysis(self, vehicle_hierarchy, vehicle_distribution):

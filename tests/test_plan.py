@@ -1,0 +1,555 @@
+"""Tests for the compile/execute split (:mod:`repro.plan`).
+
+The headline contract: for every registry policy, on tree and DAG fixtures,
+executing the compiled plan through a cursor matches legacy ``run_search``
+*exactly* — returned node, query count, total price, and the full
+transcript — for every target.  Persistence must round-trip plans
+losslessly, the cache must hit on identical configurations and miss on any
+changed ingredient, and corrupt cache files must degrade to a recompile.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.costs import TableCost, UnitCost, random_costs
+from repro.core.oracle import ExactOracle
+from repro.core.session import run_search, search_for_target
+from repro.engine import simulate_all_targets
+from repro.exceptions import PlanError, PolicyError
+from repro.plan import (
+    CompiledPlan,
+    LazyPlan,
+    PlanCache,
+    compile_policy,
+    plan_key,
+)
+from repro.policies import GreedyTreePolicy, available_policies, make_policy
+from repro.testing import (
+    make_random_dag,
+    make_random_tree,
+    random_distribution,
+    vehicle_distribution,
+    vehicle_hierarchy,
+)
+
+TREE_ONLY = {"greedy-tree"}
+
+
+def _assert_run_search_parity(executor, policy, hierarchy, distribution,
+                              cost_model=None):
+    """Plan execution must equal legacy run_search, target by target."""
+    for target in hierarchy.nodes:
+        reference = run_search(
+            policy,
+            ExactOracle(hierarchy, target),
+            hierarchy,
+            distribution,
+            cost_model,
+        )
+        served = run_search(
+            executor, ExactOracle(hierarchy, target), cost_model=cost_model
+        )
+        assert served.returned == reference.returned == target
+        assert served.num_queries == reference.num_queries
+        assert served.total_price == pytest.approx(
+            reference.total_price, abs=1e-12
+        )
+        assert served.transcript == reference.transcript
+
+
+class TestCompileParity:
+    """Acceptance: CompiledPlan matches legacy run_search exactly."""
+
+    @pytest.mark.parametrize("name", available_policies())
+    def test_tree(self, name):
+        hierarchy = make_random_tree(28, seed=11)
+        distribution = random_distribution(hierarchy, 11)
+        plan = compile_policy(make_policy(name), hierarchy, distribution)
+        _assert_run_search_parity(
+            plan, make_policy(name), hierarchy, distribution
+        )
+
+    @pytest.mark.parametrize(
+        "name", [n for n in available_policies() if n not in TREE_ONLY]
+    )
+    def test_dag(self, name):
+        hierarchy = make_random_dag(24, seed=12)
+        distribution = random_distribution(hierarchy, 12)
+        plan = compile_policy(make_policy(name), hierarchy, distribution)
+        _assert_run_search_parity(
+            plan, make_policy(name), hierarchy, distribution
+        )
+
+    @pytest.mark.parametrize("name", ["greedy-tree", "cost-greedy"])
+    def test_heterogeneous_prices(self, name):
+        hierarchy = make_random_tree(22, seed=13)
+        distribution = random_distribution(hierarchy, 13)
+        costs = random_costs(hierarchy, np.random.default_rng(13))
+        plan = compile_policy(
+            make_policy(name), hierarchy, distribution, costs
+        )
+        _assert_run_search_parity(
+            plan, make_policy(name), hierarchy, distribution, costs
+        )
+
+    def test_plan_drives_search_for_target(self):
+        hierarchy = make_random_tree(15, seed=14)
+        distribution = random_distribution(hierarchy, 14)
+        plan = compile_policy(GreedyTreePolicy(), hierarchy, distribution)
+        # hierarchy defaults to the plan's own.
+        result = search_for_target(plan, target=hierarchy.nodes[-1])
+        assert result.returned == hierarchy.nodes[-1]
+
+    def test_run_search_rejects_stale_plan(self):
+        from repro.core.hierarchy import Hierarchy
+        from repro.exceptions import SearchError
+
+        old = Hierarchy([("r", "a"), ("r", "b"), ("a", "c")])
+        new = Hierarchy([("r", "a"), ("r", "b"), ("b", "c")])  # re-parented
+        plan = compile_policy(
+            GreedyTreePolicy(), old, random_distribution(old, 1)
+        )
+        with pytest.raises(SearchError, match="stale plan"):
+            search_for_target(plan, new, target="c")
+
+    def test_structure_counts(self, vehicle_hierarchy, vehicle_distribution):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        # One leaf per target, binary questions => n - 1 internal nodes.
+        assert plan.num_leaves == vehicle_hierarchy.n
+        assert plan.num_questions == vehicle_hierarchy.n - 1
+        assert plan.expected_cost(vehicle_distribution) == pytest.approx(2.04)
+        plan.validate()
+
+    def test_as_decision_tree_matches(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        from repro.core.decision_tree import build_decision_tree
+
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        tree = plan.as_decision_tree()
+        reference = build_decision_tree(
+            GreedyTreePolicy, vehicle_hierarchy, vehicle_distribution
+        )
+        assert tree.leaf_depths() == reference.leaf_depths()
+        assert tree.leaf_prices(UnitCost()) == reference.leaf_prices(
+            UnitCost()
+        )
+
+
+class TestSearchCursor:
+    @pytest.fixture
+    def plan(self, vehicle_hierarchy, vehicle_distribution):
+        return compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+
+    def test_propose_idempotent(self, plan):
+        cursor = plan.start()
+        assert cursor.propose() == cursor.propose()
+
+    def test_undo_is_exact_and_free(self, plan):
+        cursor = plan.start()
+        first = cursor.propose()
+        cursor.observe(False)
+        second = cursor.propose()
+        cursor.undo()
+        assert cursor.propose() == first
+        cursor.observe(False)  # re-observing lands in the identical state
+        assert cursor.propose() == second
+        cursor.undo()
+        cursor.observe(True)  # the sibling branch is reachable after undo
+        assert cursor.num_queries == 1
+
+    def test_undo_at_root_raises(self, plan):
+        with pytest.raises(PolicyError, match="undo"):
+            plan.start().undo()
+
+    def test_result_before_done_raises(self, plan):
+        with pytest.raises(PolicyError, match="not finished"):
+            plan.start().result()
+
+    def test_propose_after_done_raises(self, plan, vehicle_hierarchy):
+        oracle = ExactOracle(vehicle_hierarchy, "Maxima")
+        cursor = plan.start()
+        while not cursor.done():
+            cursor.observe(oracle.answer(cursor.propose()))
+        assert cursor.result() == "Maxima"
+        with pytest.raises(PolicyError):
+            cursor.propose()
+        with pytest.raises(PolicyError):
+            cursor.observe(True)
+
+    def test_sessions_are_independent(self, plan, vehicle_hierarchy):
+        """Concurrent cursors over one shared plan do not interfere."""
+        oracles = [
+            ExactOracle(vehicle_hierarchy, t) for t in vehicle_hierarchy.nodes
+        ]
+        cursors = [plan.start() for _ in oracles]
+        # Interleave all sessions round-robin until each finishes.
+        live = list(zip(cursors, oracles))
+        while live:
+            still = []
+            for cursor, oracle in live:
+                cursor.observe(oracle.answer(cursor.propose()))
+                if not cursor.done():
+                    still.append((cursor, oracle))
+            live = still
+        for cursor, oracle in zip(cursors, oracles):
+            assert cursor.result() == oracle.target
+
+
+class TestImmutability:
+    def test_attributes_frozen(self, vehicle_hierarchy, vehicle_distribution):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        with pytest.raises(PlanError, match="immutable"):
+            plan.policy_name = "other"
+
+    def test_arrays_read_only(self, vehicle_hierarchy, vehicle_distribution):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        with pytest.raises(ValueError):
+            plan.query_ix[0] = 5
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("builder", ["tree", "dag"])
+    def test_save_load_round_trip(self, tmp_path, builder):
+        if builder == "tree":
+            hierarchy = make_random_tree(20, seed=21)
+        else:
+            hierarchy = make_random_dag(20, seed=21)
+        distribution = random_distribution(hierarchy, 21)
+        policy = make_policy("greedy-dag" if builder == "dag" else "greedy-tree")
+        plan = compile_policy(policy, hierarchy, distribution)
+        path = tmp_path / f"{builder}.plan"
+        plan.save(path)
+        loaded = CompiledPlan.load(path)
+        assert loaded.config_key == plan.config_key
+        assert loaded.policy_name == plan.policy_name
+        assert np.array_equal(loaded.query_ix, plan.query_ix)
+        assert np.array_equal(loaded.yes_child, plan.yes_child)
+        assert np.array_equal(loaded.no_child, plan.no_child)
+        assert np.array_equal(loaded.target_ix, plan.target_ix)
+        assert loaded.hierarchy.nodes == hierarchy.nodes
+        # The reloaded plan serves searches identically.
+        _assert_run_search_parity(
+            loaded,
+            make_policy("greedy-dag" if builder == "dag" else "greedy-tree"),
+            hierarchy,
+            distribution,
+        )
+
+    def test_pickle_round_trip(self, vehicle_hierarchy, vehicle_distribution):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert np.array_equal(clone.query_ix, plan.query_ix)
+        # Pickling preserves the read-only flag on the arrays.
+        with pytest.raises(ValueError):
+            clone.query_ix[0] = 5
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PlanError, match="cannot read"):
+            CompiledPlan.load(tmp_path / "nope.plan")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.plan"
+        path.write_bytes(b"this is not a pickle at all")
+        with pytest.raises(PlanError, match="corrupt"):
+            CompiledPlan.load(path)
+
+    def test_load_foreign_pickle(self, tmp_path):
+        path = tmp_path / "foreign.plan"
+        path.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(PlanError, match="not a compiled-plan file"):
+            CompiledPlan.load(path)
+
+
+class TestPlanKey:
+    def test_stable_for_identical_config(self, vehicle_hierarchy):
+        d1 = vehicle_distribution()
+        d2 = vehicle_distribution()
+        assert plan_key(
+            GreedyTreePolicy(), vehicle_hierarchy, d1
+        ) == plan_key(GreedyTreePolicy(), vehicle_hierarchy, d2)
+
+    def test_changes_with_each_ingredient(self, vehicle_hierarchy):
+        dist = vehicle_distribution()
+        base = plan_key(GreedyTreePolicy(), vehicle_hierarchy, dist)
+        other_dist = random_distribution(vehicle_hierarchy, 5)
+        assert plan_key(
+            GreedyTreePolicy(), vehicle_hierarchy, other_dist
+        ) != base
+        priced = TableCost(
+            {node: 2.0 for node in vehicle_hierarchy.nodes}
+        )
+        assert plan_key(
+            GreedyTreePolicy(), vehicle_hierarchy, dist, priced
+        ) != base
+        assert plan_key(
+            GreedyTreePolicy(rounded=True), vehicle_hierarchy, dist
+        ) != base
+        other_h = make_random_tree(7, seed=3)
+        assert plan_key(
+            GreedyTreePolicy(), other_h, random_distribution(other_h, 1)
+        ) != base
+
+    def test_default_distribution_matches_equal(self, vehicle_hierarchy):
+        from repro.core.distribution import TargetDistribution
+
+        equal = TargetDistribution.equal(vehicle_hierarchy)
+        assert plan_key(GreedyTreePolicy(), vehicle_hierarchy) == plan_key(
+            GreedyTreePolicy(), vehicle_hierarchy, equal
+        )
+
+    def test_random_seed_in_key(self, vehicle_hierarchy):
+        dist = vehicle_distribution()
+        assert plan_key(
+            make_policy("random", seed=1), vehicle_hierarchy, dist
+        ) != plan_key(make_policy("random", seed=2), vehicle_hierarchy, dist)
+
+    def test_heap_children_in_key(self, vehicle_hierarchy):
+        # The heap variant can break weight ties differently, so it must
+        # not share a cache entry with the plain child scan.
+        dist = vehicle_distribution()
+        assert plan_key(
+            GreedyTreePolicy(heap_children=True), vehicle_hierarchy, dist
+        ) != plan_key(GreedyTreePolicy(), vehicle_hierarchy, dist)
+
+
+class TestPlanCache:
+    def test_hit_on_identical_config(self, tmp_path, vehicle_hierarchy):
+        dist = vehicle_distribution()
+        cache = PlanCache(tmp_path)
+        first = cache.get_or_compile(
+            GreedyTreePolicy(), vehicle_hierarchy, dist
+        )
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.get_or_compile(
+            GreedyTreePolicy(), vehicle_hierarchy, dist
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert second.config_key == first.config_key
+        assert np.array_equal(second.query_ix, first.query_ix)
+
+    def test_miss_on_changed_distribution_and_costs(
+        self, tmp_path, vehicle_hierarchy
+    ):
+        dist = vehicle_distribution()
+        cache = PlanCache(tmp_path)
+        cache.get_or_compile(GreedyTreePolicy(), vehicle_hierarchy, dist)
+        cache.get_or_compile(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            random_distribution(vehicle_hierarchy, 9),
+        )
+        cache.get_or_compile(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            dist,
+            TableCost({node: 3.0 for node in vehicle_hierarchy.nodes}),
+        )
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_corrupt_entry_recompiles(self, tmp_path, vehicle_hierarchy):
+        dist = vehicle_distribution()
+        cache = PlanCache(tmp_path)
+        plan = cache.get_or_compile(
+            GreedyTreePolicy(), vehicle_hierarchy, dist
+        )
+        cache.path_for(plan.config_key).write_bytes(b"garbage" * 10)
+        with pytest.warns(UserWarning, match="unreadable plan-cache entry"):
+            again = cache.get_or_compile(
+                GreedyTreePolicy(), vehicle_hierarchy, dist
+            )
+        assert cache.errors == 1
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert np.array_equal(again.query_ix, plan.query_ix)
+        # The corrupt entry was overwritten with a good one.
+        final = cache.get_or_compile(
+            GreedyTreePolicy(), vehicle_hierarchy, dist
+        )
+        assert cache.hits == 1
+        assert np.array_equal(final.query_ix, plan.query_ix)
+
+    def test_engine_uses_cache(self, tmp_path, vehicle_hierarchy):
+        dist = vehicle_distribution()
+        cache = PlanCache(tmp_path)
+        first = simulate_all_targets(
+            GreedyTreePolicy(), vehicle_hierarchy, dist, plan_cache=cache
+        )
+        second = simulate_all_targets(
+            GreedyTreePolicy(), vehicle_hierarchy, dist, plan_cache=cache
+        )
+        assert cache.hits == 1 and cache.misses == 1
+        assert np.array_equal(first.queries, second.queries)
+
+    def test_uncacheable_policy_never_written(self, tmp_path):
+        from repro.core.decision_tree import build_decision_tree
+        from repro.policies import StaticTreePolicy
+
+        hierarchy = make_random_tree(10, seed=4)
+        dist = random_distribution(hierarchy, 4)
+        tree = build_decision_tree(GreedyTreePolicy, hierarchy, dist)
+        cache = PlanCache(tmp_path)
+        plan = cache.get_or_compile(StaticTreePolicy(tree), hierarchy, dist)
+        assert cache.misses == 1
+        assert not any(tmp_path.iterdir())
+        # Such plans carry no content key and the cache refuses them: two
+        # StaticTree configurations would collide under one fingerprint.
+        assert plan.config_key == ""
+        with pytest.raises(PlanError, match="not plan_cacheable"):
+            cache.put(plan)
+
+
+class TestEngineOnPlans:
+    def test_plan_equals_policy_path(self, vehicle_hierarchy, vehicle_distribution):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        via_plan = simulate_all_targets(plan)
+        via_policy = simulate_all_targets(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        assert via_plan.method == via_policy.method == "plan"
+        assert np.array_equal(via_plan.queries, via_policy.queries)
+        assert np.array_equal(
+            via_plan.prices[via_plan.target_ix],
+            via_policy.prices[via_policy.target_ix],
+        )
+
+    def test_restricted_targets_prune_plan_walk(
+        self, vehicle_hierarchy, vehicle_distribution
+    ):
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        engine = simulate_all_targets(plan, targets=["Maxima", "Sentra"])
+        assert engine.num_targets == 2
+        # Only the questions on the two root-to-leaf paths are visited.
+        assert engine.decision_nodes < plan.num_questions
+
+    def test_mismatched_hierarchy_rejected(self, vehicle_hierarchy,
+                                           vehicle_distribution):
+        from repro.core.hierarchy import Hierarchy
+        from repro.exceptions import SearchError
+
+        plan = compile_policy(
+            GreedyTreePolicy(), vehicle_hierarchy, vehicle_distribution
+        )
+        other = make_random_tree(9, seed=2)
+        with pytest.raises(SearchError, match="node indexing"):
+            simulate_all_targets(plan, other)
+        # Same labels, different edges must be rejected too.
+        relabeled = Hierarchy(
+            [
+                ("Vehicle", "Car"),
+                ("Car", "Nissan"),
+                ("Car", "Honda"),
+                ("Vehicle", "Mercedes"),  # re-parented vs the original
+                ("Nissan", "Maxima"),
+                ("Nissan", "Sentra"),
+            ]
+        )
+        with pytest.raises(SearchError, match="node indexing"):
+            simulate_all_targets(plan, relabeled)
+
+    def test_restricted_targets_skip_compilation(self):
+        """Uncached sampled evaluation takes the fused pruned walk."""
+        hierarchy = make_random_tree(40, seed=41)
+        distribution = random_distribution(hierarchy, 41)
+        sample = list(hierarchy.nodes[5:9])
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, targets=sample
+        )
+        assert engine.method == "vector"
+        full = simulate_all_targets(
+            compile_policy(GreedyTreePolicy(), hierarchy, distribution),
+            targets=sample,
+        )
+        assert engine.decision_nodes == full.decision_nodes  # same pruning
+        for target in sample:
+            assert engine.query_count(target) == full.query_count(target)
+
+    def test_restricted_targets_with_cache_compile_once(self, tmp_path):
+        """With a cache, sampled evaluation compiles (reusably) instead."""
+        hierarchy = make_random_tree(30, seed=42)
+        distribution = random_distribution(hierarchy, 42)
+        cache = PlanCache(tmp_path)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=list(hierarchy.nodes[:3]),
+            plan_cache=cache,
+        )
+        assert engine.method == "plan"
+        assert cache.misses == 1
+
+
+class CountingGreedy(GreedyTreePolicy):
+    """Greedy tree policy counting how often it actually thinks."""
+
+    calls = 0
+
+    def _select_query(self):
+        type(self).calls += 1
+        return super()._select_query()
+
+
+class TestLazyPlan:
+    def test_serving_parity(self):
+        hierarchy = make_random_tree(25, seed=31)
+        distribution = random_distribution(hierarchy, 31)
+        lazy = LazyPlan(GreedyTreePolicy(), hierarchy, distribution)
+        _assert_run_search_parity(
+            lazy, GreedyTreePolicy(), hierarchy, distribution
+        )
+
+    def test_repeated_paths_need_no_policy_work(self):
+        hierarchy = make_random_tree(30, seed=32)
+        distribution = random_distribution(hierarchy, 32)
+        CountingGreedy.calls = 0
+        lazy = LazyPlan(CountingGreedy(), hierarchy, distribution)
+        target = hierarchy.nodes[17]
+        run_search(lazy, ExactOracle(hierarchy, target))
+        first_pass = CountingGreedy.calls
+        assert first_pass > 0
+        for _ in range(5):
+            run_search(lazy, ExactOracle(hierarchy, target))
+        assert CountingGreedy.calls == first_pass  # memoized: zero new work
+
+    def test_undo_for_policies_without_native_undo(self):
+        hierarchy = make_random_tree(12, seed=33)
+        distribution = random_distribution(hierarchy, 33)
+        lazy = LazyPlan(make_policy("random", seed=7), hierarchy, distribution)
+        cursor = lazy.start()
+        first = cursor.propose()
+        cursor.observe(True)
+        cursor.undo()
+        assert cursor.propose() == first
+        cursor.observe(False)  # sibling branch expands after backtracking
+        assert cursor.num_queries == 1
+
+    def test_online_hands_policy_back_clean(self):
+        """The serving loops must not leave journaling on the policy."""
+        from repro.online import simulate_online_labeling
+
+        hierarchy = make_random_tree(15, seed=34)
+        policy = GreedyTreePolicy()
+        stream = [hierarchy.nodes[3]] * 8
+        simulate_online_labeling(policy, hierarchy, stream, block_size=4)
+        assert not policy._undo_enabled
+        assert policy._undo_log == []
