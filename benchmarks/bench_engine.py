@@ -10,7 +10,9 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_engine.py
 
 or as part of the benchmark suite (``pytest benchmarks/bench_engine.py``),
-where the speedup floor of 10x is asserted.  Environment knobs:
+where the speedup floor of 10x is asserted.  Both entry points also write
+``BENCH_engine.json`` at the repo root in the common machine-readable
+schema (see :mod:`bench_json`).  Environment knobs:
 
 ``REPRO_BENCH_ENGINE_N``
     Approximate node count of the balanced tree (default 10000).
@@ -35,6 +37,8 @@ except ImportError:  # standalone `python benchmarks/bench_engine.py`
 
 import numpy as np
 
+from bench_json import write_bench_json
+from bench_neutral import neutral_defaults
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle
@@ -61,6 +65,15 @@ def run_benchmark(
     seed: int = 0,
 ) -> dict:
     """Time the engine pass and the per-target loop; return a JSON-able dict."""
+    # Installed cache/jobs defaults would turn the timed engine pass into
+    # a disk load; clear them for the timed region only.
+    with neutral_defaults():
+        return _timed_benchmark(n_target, branching, loop_targets, seed)
+
+
+def _timed_benchmark(
+    n_target: int, branching: int, loop_targets: int, seed: int
+) -> dict:
     hierarchy = _balanced_tree_exact(branching, n_target)
     distribution = TargetDistribution.equal(hierarchy)
     policy = GreedyTreePolicy()
@@ -88,6 +101,15 @@ def run_benchmark(
     loop_per_target = loop_seconds / len(sample)
     loop_full_estimate = loop_per_target * hierarchy.n
 
+    write_bench_json(
+        "engine",
+        n_nodes=hierarchy.n,
+        wall_s=engine_seconds,
+        speedup=loop_full_estimate / engine_seconds,
+        policy=policy.name,
+        method=engine.method,
+        parity_ok=parity_ok,
+    )
     return {
         "benchmark": "bench_engine",
         "policy": policy.name,

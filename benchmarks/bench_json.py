@@ -1,0 +1,36 @@
+"""Machine-readable benchmark reports (``BENCH_*.json`` at the repo root).
+
+Every acceptance benchmark writes, next to its human-readable
+``results/*.txt`` report, a ``BENCH_<name>.json`` file in a common schema::
+
+    {"name": ..., "n_nodes": ..., "wall_s": ..., "speedup": ..., ...}
+
+``name``/``n_nodes``/``wall_s``/``speedup`` are always present (the
+headline workload size, its wall-clock seconds, and the speedup over the
+benchmark's baseline); everything else is benchmark-specific detail.  The
+files are committed by CI as workflow artifacts so the performance
+trajectory across PRs stays diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(
+    name: str, *, n_nodes: int, wall_s: float, speedup: float, **extra
+) -> dict:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the payload."""
+    payload = {
+        "name": name,
+        "n_nodes": int(n_nodes),
+        "wall_s": round(float(wall_s), 6),
+        "speedup": round(float(speedup), 2),
+        **extra,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

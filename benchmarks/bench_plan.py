@@ -12,7 +12,9 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_plan.py --smoke    # CI gate
 
 or as part of the benchmark suite (``pytest benchmarks/bench_plan.py``),
-where the 10x speedup floor is asserted.  Environment knobs:
+where the 10x speedup floor is asserted.  Both entry points also write
+``BENCH_plan.json`` at the repo root in the common machine-readable schema
+(see :mod:`bench_json`).  Environment knobs:
 
 ``REPRO_BENCH_PLAN_N``
     Approximate node count of the balanced tree (default 10000).
@@ -36,6 +38,7 @@ except ImportError:  # standalone `python benchmarks/bench_plan.py`
 
 import numpy as np
 
+from bench_json import write_bench_json
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle
@@ -89,6 +92,15 @@ def run_benchmark(
 
     speedup = legacy_seconds / plan_seconds if plan_seconds else float("inf")
     per_session_gain = (legacy_seconds - plan_seconds) / sessions
+    write_bench_json(
+        "plan",
+        n_nodes=hierarchy.n,
+        wall_s=plan_seconds,
+        speedup=speedup,
+        policy=policy.name,
+        sessions=sessions,
+        parity_ok=plan_counts == legacy_counts,
+    )
     return {
         "benchmark": "bench_plan",
         "policy": policy.name,

@@ -49,7 +49,14 @@ from repro.core import (
     run_search,
     search_for_target,
 )
-from repro.engine import EngineResult, VectorPolicy, simulate_all_targets
+from repro.engine import (
+    EngineResult,
+    EngineResultCache,
+    VectorPolicy,
+    set_default_jobs,
+    set_default_result_cache,
+    simulate_all_targets,
+)
 from repro.exceptions import (
     BudgetExceededError,
     CostModelError,
@@ -84,6 +91,7 @@ __all__ = [
     "DecisionTree",
     "DistributionError",
     "EngineResult",
+    "EngineResultCache",
     "ExactOracle",
     "Hierarchy",
     "HierarchyError",
@@ -112,6 +120,8 @@ __all__ = [
     "run_search",
     "search_for_target",
     "set_default_cache",
+    "set_default_jobs",
+    "set_default_result_cache",
     "simulate_all_targets",
     "__version__",
 ]

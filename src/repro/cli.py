@@ -5,7 +5,10 @@ Three modes:
 * experiment mode — regenerate any paper table/figure at a chosen scale and
   print the paper-style output (``all`` runs the full suite).  With
   ``--plan-cache DIR``, compiled decision plans are content-addressed on
-  disk so repeated runs skip identical compilations;
+  disk so repeated runs skip identical compilations; ``--jobs N`` shards
+  exact plan walks over N worker processes; ``--result-cache DIR``
+  persists the per-target cost arrays so re-running an unchanged
+  evaluation skips the walk entirely;
 * interactive mode — ``python -m repro interactive --edges hierarchy.tsv``
   categorises one object by asking *you* the reachability questions, i.e.
   the paper's crowdsourcing workflow with a human-in-the-terminal oracle
@@ -77,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment mode: cache compiled plans under DIR (e.g. "
         "results/plancache) so repeated runs skip identical compilations",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="experiment mode: shard exact plan walks over N worker "
+        "processes (0 or negative = all cores); per-target numbers are "
+        "identical for every N",
+    )
+    parser.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        help="experiment mode: cache engine results (per-target cost "
+        "arrays) under DIR (e.g. results/enginecache) so re-running an "
+        "unchanged evaluation skips the walk entirely",
+    )
     return parser
 
 
@@ -142,6 +160,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.plan import set_default_cache
 
         set_default_cache(args.plan_cache)
+    if args.jobs is not None:
+        from repro.engine import set_default_jobs
+
+        set_default_jobs(args.jobs)
+    if args.result_cache:
+        from repro.engine import set_default_result_cache
+
+        set_default_result_cache(args.result_cache)
     scale = get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -4,17 +4,46 @@ Evaluate a policy — compiled once into a :class:`repro.plan.CompiledPlan` —
 against *all* targets of a hierarchy in one pass on flat numpy index arrays:
 the amortized, index-level evaluation path the paper's efficiency
 experiments (Fig. 6) presume, instead of one ``run_search`` per target.
-See :mod:`repro.engine.driver` for the algorithm and
-:mod:`repro.engine.vector` for the undo protocol and splitting kernels.
+See :mod:`repro.engine.driver` for the algorithm, :mod:`repro.engine.vector`
+for the undo protocol and splitting kernels, :mod:`repro.engine.parallel`
+for the sharded multi-process walk (``jobs=``), and
+:mod:`repro.engine.cache` for the persistent engine-result cache
+(``result_cache=``).
 """
 
+from repro.engine.cache import (
+    EngineResultCache,
+    as_result_cache,
+    get_default_result_cache,
+    result_key,
+    set_default_result_cache,
+)
 from repro.engine.driver import EngineResult, simulate_all_targets
-from repro.engine.vector import VectorPolicy, is_vector_policy, make_splitter
+from repro.engine.parallel import (
+    get_default_jobs,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.engine.vector import (
+    SPLITTER_KINDS,
+    VectorPolicy,
+    is_vector_policy,
+    make_splitter,
+)
 
 __all__ = [
     "EngineResult",
+    "EngineResultCache",
+    "SPLITTER_KINDS",
     "VectorPolicy",
+    "as_result_cache",
+    "get_default_jobs",
+    "get_default_result_cache",
     "is_vector_policy",
     "make_splitter",
+    "resolve_jobs",
+    "result_key",
+    "set_default_jobs",
+    "set_default_result_cache",
     "simulate_all_targets",
 ]

@@ -22,20 +22,30 @@ execute split it runs entirely on :class:`~repro.plan.CompiledPlan` arrays:
 The per-target bookkeeping is pure numpy, and the policy work — zero for a
 shared/cached plan — is proportional to the number of *distinct* questions
 (≤ 2n − 1), not the sum of all per-target search depths.  Two special
-cases: sampled (Monte-Carlo) evaluation with no plan cache takes a fused
-target-pruned walk instead, so a handful of sampled targets never pays for
-the full compile; and policies without exact undo (the seeded random
-baseline) fall back to a transcript-replay adapter (one ``run_search`` per
-target) — compiling them by prefix replay would cost the same as that loop
-with nothing amortised.  Every registry policy, and any third-party
+cases: a small sampled (Monte-Carlo) target set takes a fused
+target-pruned walk instead (unless a compiled plan is already on disk), so
+a handful of sampled targets never pays for the full compile; and policies
+without exact undo (the seeded random baseline) fall back to a
+transcript-replay adapter (one ``run_search`` per target) — compiling them
+by prefix replay would cost the same as that loop with nothing amortised.
+Every registry policy, and any third-party
 :class:`~repro.core.policy.Policy`, produces identical numbers through the
 same API.
+
+Two further levers make the walk paper-scale (see ``jobs`` and
+``result_cache`` on :func:`simulate_all_targets`): the plan walk shards
+over a process pool with bit-identical output for every shard count
+(:mod:`repro.engine.parallel`), and finished per-target cost arrays
+persist on disk keyed by configuration content hash, so repeating an
+unchanged evaluation skips the walk entirely
+(:mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Mapping
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 import numpy as np
 
@@ -54,7 +64,7 @@ from repro.plan import (
     compile_policy,
     get_default_cache,
 )
-from repro.plan.compile import check_leaf
+from repro.plan.compile import check_leaf, plan_key
 
 
 @dataclass(frozen=True)
@@ -81,6 +91,10 @@ class EngineResult:
     method: str = "plan"
     #: Decision points visited (plan/vector) or queries simulated (replay).
     decision_nodes: int = 0
+    #: Memoized :meth:`per_target` mapping (built on first request).
+    _per_target: Mapping[Hashable, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -119,12 +133,27 @@ class EngineResult:
         self.query_count(target)  # raises on unevaluated targets
         return float(self.prices[self.hierarchy.index(target)])
 
-    def per_target(self) -> dict[Hashable, int]:
-        """``{target label: query count}`` for the evaluated targets."""
-        label = self.hierarchy.label
-        return {
-            label(int(ix)): int(self.queries[ix]) for ix in self.target_ix
-        }
+    def per_target(self) -> Mapping[Hashable, int]:
+        """``{target label: query count}`` for the evaluated targets.
+
+        Built once and memoized (index-to-label translation over ``n``
+        targets is not free), so repeated aggregate queries share one
+        mapping; the returned view is read-only.
+        """
+        if self._per_target is None:
+            label = self.hierarchy.label
+            mapping = {
+                label(int(ix)): int(self.queries[ix]) for ix in self.target_ix
+            }
+            object.__setattr__(self, "_per_target", MappingProxyType(mapping))
+        return self._per_target
+
+    def __getstate__(self):
+        # The memoized proxy is not picklable (and cheap to rebuild);
+        # results must stay shippable to workers / disk after inspection.
+        state = self.__dict__.copy()
+        state["_per_target"] = None
+        return state
 
     @property
     def num_targets(self) -> int:
@@ -141,6 +170,8 @@ def simulate_all_targets(
     check_correctness: bool = True,
     max_queries: int | None = None,
     plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
 ) -> EngineResult:
     """Simulate a policy or compiled plan against every target in one pass.
 
@@ -158,9 +189,10 @@ def simulate_all_targets(
         own hierarchy, and must have the same node indexing if given).
     targets:
         Restrict the evaluation to these labels (duplicates collapse; the
-        walk prunes branches no requested target can reach, and — with no
-        plan or cache in play — skips plan compilation entirely in favour
-        of a fused pruned walk).  Default: all ``n`` nodes.
+        walk prunes branches no requested target can reach, and — unless a
+        full plan is already compiled or cached on disk — a small sample
+        skips plan compilation entirely in favour of a fused pruned walk).
+        Default: all ``n`` nodes.
     check_correctness:
         Verify the policy identifies every simulated target.
     max_queries:
@@ -169,7 +201,32 @@ def simulate_all_targets(
         A :class:`~repro.plan.PlanCache` or directory path; compiled plans
         are loaded from / stored into it by configuration content hash.
         ``None`` falls back to :func:`repro.plan.get_default_cache`.
+    jobs:
+        Shard the compiled-plan walk over this many worker processes
+        (:mod:`repro.engine.parallel`); the per-target arrays and
+        ``decision_nodes`` are bit-identical for every value.  ``None``
+        uses the process default (sequential unless
+        :func:`~repro.engine.parallel.set_default_jobs` / ``--jobs`` set
+        one); non-positive means all cores.  Replay policies and the fused
+        pruned walk always run sequentially.
+    result_cache:
+        An :class:`~repro.engine.cache.EngineResultCache` or directory
+        path persisting the per-target cost arrays by configuration +
+        target-set content hash: a repeated run with unchanged policy/
+        hierarchy/distribution/prices skips compile *and* walk.  ``None``
+        falls back to
+        :func:`~repro.engine.cache.get_default_result_cache`; ``False``
+        disables result caching outright, *ignoring* the process default
+        — callers that time the walk use this so an installed cache
+        cannot turn their measurement into a disk load.
     """
+    from repro.engine.cache import (
+        as_result_cache,
+        get_default_result_cache,
+        result_key,
+    )
+    from repro.engine.parallel import resolve_jobs, run_parallel_walk
+
     plan: CompiledPlan | None = None
     if isinstance(policy, CompiledPlan):
         plan = policy
@@ -199,61 +256,120 @@ def simulate_all_targets(
         if target_ix.size == 0:
             raise SearchError("no targets to simulate")
     budget = max_queries if max_queries is not None else 2 * n + 10
+
+    # The configuration content hash (shared with the plan cache) keys the
+    # persisted result; policies that cannot be fingerprinted reliably
+    # (plan_cacheable false) are never cached.  Computed only when a cache
+    # will actually consult it — it hashes the distribution/price arrays.
+    _ckey: list[str | None] = [None]
+
+    def config_key() -> str:
+        if _ckey[0] is None:
+            if plan is not None:
+                _ckey[0] = plan.config_key
+            elif not getattr(policy, "plan_cacheable", True):
+                _ckey[0] = ""
+            else:
+                try:
+                    _ckey[0] = plan_key(policy, hierarchy, distribution, model)
+                except AttributeError:  # duck-typed, no fingerprint()
+                    _ckey[0] = ""
+        return _ckey[0]
+
+    if result_cache is False:
+        rcache = None
+    else:
+        rcache = as_result_cache(result_cache)
+        if rcache is None:
+            rcache = get_default_result_cache()
+    rkey = ""
+    if rcache is not None and config_key():
+        rkey = result_key(
+            config_key(), target_ix, budget, model.as_array(hierarchy)
+        )
+        cached = rcache.get(
+            rkey, hierarchy, require_checked=check_correctness
+        )
+        if cached is not None:
+            return cached
+
     queries = np.full(n, -1, dtype=np.int64)
     prices = np.full(n, np.nan, dtype=float)
 
     if plan is None and is_vector_policy(policy):
         cache = as_plan_cache(plan_cache) or get_default_cache()
-        if cache is None and target_ix.size < n:
-            # Sampled (Monte-Carlo) evaluation with nothing to reuse:
-            # compiling would visit all <= 2n - 1 decision points, while the
-            # fused walk below only proposes along branches the requested
-            # targets can reach — much cheaper when targets << n.
-            nodes = _pruned_walk(
-                policy, hierarchy, distribution, model, target_ix,
-                queries, prices, budget, check_correctness,
-            )
-            return EngineResult(
-                policy=policy.name,
-                hierarchy=hierarchy,
-                target_ix=target_ix,
-                queries=queries,
-                prices=prices,
-                method="vector",
-                decision_nodes=nodes,
-            )
-        if cache is not None:
-            plan = cache.get_or_compile(
-                policy,
-                hierarchy,
-                distribution,
-                model,
-                max_depth=budget,
-                validate=check_correctness,
-            )
-        else:
-            plan = compile_policy(
-                policy,
-                hierarchy,
-                distribution,
-                model,
-                max_depth=budget,
-                validate=check_correctness,
-            )
+        if target_ix.size < n:
+            # Sampled (Monte-Carlo) evaluation.  Compiling would visit all
+            # <= 2n - 1 decision points; the fused pruned walk only
+            # proposes along branches the requested targets can reach
+            # (~ |targets| * height decision points).  So: reuse a plan
+            # already on disk (a load is cheaper than any walk), otherwise
+            # compile through the cache only when the sample is large
+            # enough that the walk would retrace most of the plan anyway —
+            # a one-shot sampled run on a huge DAG never pays for a full
+            # compile.
+            if cache is not None and config_key():
+                plan = cache.probe(config_key())
+            if (
+                plan is None
+                and target_ix.size * max(hierarchy.height, 1) < n
+            ):
+                nodes = _pruned_walk(
+                    policy, hierarchy, distribution, model, target_ix,
+                    queries, prices, budget, check_correctness,
+                )
+                result = EngineResult(
+                    policy=policy.name,
+                    hierarchy=hierarchy,
+                    target_ix=target_ix,
+                    queries=queries,
+                    prices=prices,
+                    method="vector",
+                    decision_nodes=nodes,
+                )
+                if rcache is not None and rkey:
+                    rcache.put(result, rkey, checked=check_correctness)
+                return result
+        if plan is None:
+            if cache is not None:
+                plan = cache.get_or_compile(
+                    policy,
+                    hierarchy,
+                    distribution,
+                    model,
+                    max_depth=budget,
+                    validate=check_correctness,
+                )
+            else:
+                plan = compile_policy(
+                    policy,
+                    hierarchy,
+                    distribution,
+                    model,
+                    max_depth=budget,
+                    validate=check_correctness,
+                )
 
     if plan is not None:
         method = "plan"
-        nodes = _plan_walk(
-            plan, hierarchy, model, target_ix,
-            queries, prices, budget, check_correctness,
-        )
+        workers = resolve_jobs(jobs)
+        if workers > 1 and target_ix.size > 1:
+            nodes = run_parallel_walk(
+                plan, hierarchy, model, target_ix,
+                queries, prices, budget, check_correctness, workers,
+            )
+        else:
+            nodes = _plan_walk(
+                plan, hierarchy, model, target_ix,
+                queries, prices, budget, check_correctness,
+            )
     else:
         method = "replay"
         nodes = _replay_targets(
             policy, hierarchy, distribution, model, target_ix,
             queries, prices, budget, check_correctness,
         )
-    return EngineResult(
+    result = EngineResult(
         policy=plan.policy_name if plan is not None else policy.name,
         hierarchy=hierarchy,
         target_ix=target_ix,
@@ -262,49 +378,52 @@ def simulate_all_targets(
         method=method,
         decision_nodes=nodes,
     )
+    if rcache is not None and rkey:
+        rcache.put(result, rkey, checked=check_correctness)
+    return result
 
 
 # ----------------------------------------------------------------------
 # The one-pass walk over compiled-plan arrays
 # ----------------------------------------------------------------------
-def _plan_walk(
+def _make_stepper(
     plan: CompiledPlan,
     hierarchy: Hierarchy,
     model: QueryCostModel,
-    target_ix: np.ndarray,
     queries: np.ndarray,
     prices: np.ndarray,
     budget: int,
     check: bool,
-) -> int:
-    """Descend the plan, carrying target subsets; no policy code runs."""
-    split = make_splitter(hierarchy, len(target_ix))
+    split,
+):
+    """One plan-node transition, shared by every walk order.
+
+    Returns ``step(node, subset, depth, price, emit) -> visited`` — settle
+    a leaf (0) or split a decision node (1), handing each viable child
+    frame to ``emit``.  The sequential walk drives it off a stack and the
+    parallel engine off a size-ordered frontier heap
+    (:mod:`repro.engine.parallel`); keeping the node semantics in one
+    place is what guarantees their outputs stay bit-identical.
+    """
     price_vec = model.as_array(hierarchy)
     plan_query = plan.query_ix
     plan_yes = plan.yes_child
     plan_no = plan.no_child
     plan_target = plan.target_ix
-    visited = 0
 
-    # [plan node, target subset, depth, accumulated price]
-    stack: list[tuple[int, np.ndarray, int, float]] = [
-        (ROOT, target_ix, 0, 0.0)
-    ]
-    while stack:
-        node, subset, depth, price = stack.pop()
+    def step(node: int, subset: np.ndarray, depth: int, price: float, emit) -> int:
         leaf_target = int(plan_target[node])
         if leaf_target >= 0:
             if check:
                 check_leaf(plan.policy_name, hierarchy, subset, leaf_target)
             queries[subset] = depth
             prices[subset] = price
-            continue
+            return 0
         if depth >= budget:
             raise BudgetExceededError(
                 f"{plan.policy_name} exceeded the query budget of {budget} "
                 f"questions after {depth} questions in the plan walk"
             )
-        visited += 1
         qix = int(plan_query[node])
         yes, no = split(qix, subset)
         child_price = price + float(price_vec[qix])
@@ -321,7 +440,50 @@ def _plan_walk(
                     f"{sub.size} requested target(s) need it; was the plan "
                     "compiled on a different hierarchy?"
                 )
-            stack.append((child, sub, depth + 1, child_price))
+            emit(child, sub, depth + 1, child_price)
+        return 1
+
+    return step
+
+
+def _plan_walk(
+    plan: CompiledPlan,
+    hierarchy: Hierarchy,
+    model: QueryCostModel,
+    target_ix: np.ndarray,
+    queries: np.ndarray,
+    prices: np.ndarray,
+    budget: int,
+    check: bool,
+    *,
+    split=None,
+    frames=None,
+) -> int:
+    """Descend the plan, carrying target subsets; no policy code runs.
+
+    ``split`` forces a pre-chosen splitter kernel and ``frames`` replaces
+    the root frame with mid-plan ``(node, subset, depth, price)`` starting
+    points — the parallel engine uses both so every worker shard resumes
+    the identical walk (:mod:`repro.engine.parallel`).
+    """
+    if split is None:
+        split = make_splitter(hierarchy, len(target_ix))
+    step = _make_stepper(
+        plan, hierarchy, model, queries, prices, budget, check, split
+    )
+    visited = 0
+
+    # [plan node, target subset, depth, accumulated price]
+    stack: list[tuple[int, np.ndarray, int, float]] = (
+        list(frames) if frames is not None else [(ROOT, target_ix, 0, 0.0)]
+    )
+
+    def emit(child: int, sub: np.ndarray, depth: int, price: float) -> None:
+        stack.append((child, sub, depth, price))
+
+    while stack:
+        node, subset, depth, price = stack.pop()
+        visited += step(node, subset, depth, price, emit)
     return visited
 
 

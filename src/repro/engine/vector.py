@@ -14,11 +14,22 @@ indices.  Two ingredients make that possible:
 
 * :func:`make_splitter` — a per-hierarchy kernel splitting a target-index
   array on a query node into (yes, no) halves, because the exact oracle's
-  answer for target ``z`` on query ``q`` is ``reaches(q, z)``.  On trees the
-  split is two numpy comparisons against the cached Euler-tour intervals; on
-  DAGs it is a boolean row of the reachability matrix when the hierarchy is
-  small enough to have one, and a cached-descendant-set membership scan
-  otherwise.
+  answer for target ``z`` on query ``q`` is ``reaches(q, z)``.  Four kernels
+  exist, picked automatically by hierarchy shape and walk size (or forced
+  with ``kind``):
+
+  ========  ==========================================================
+  kind      mechanism
+  ========  ==========================================================
+  tree      two numpy comparisons against cached Euler-tour intervals
+  matrix    boolean row of the dense reachability matrix (small DAGs)
+  bitset    bit-tests against the packed reachability block — the
+            memory-lean DAG index above ``_MATRIX_NODE_LIMIT``
+            (:meth:`repro.core.hierarchy.Hierarchy.reachability_bits`)
+  sets      cached-descendant-``frozenset`` membership scan (cheap
+            fallback for a handful of Monte-Carlo targets, where
+            building any n^2-shaped index would dominate)
+  ========  ==========================================================
 """
 
 from __future__ import annotations
@@ -28,11 +39,17 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.core import hierarchy as _hierarchy_mod
 from repro.core.hierarchy import Hierarchy
+from repro.exceptions import HierarchyError
 
 #: A splitter takes ``(query_ix, targets)`` and returns ``(yes, no)`` —
-#: the targets reachable / not reachable from the query node.
+#: the targets reachable / not reachable from the query node.  The chosen
+#: kernel is exposed on the returned callable as ``.kind``.
 Splitter = Callable[[int, np.ndarray], tuple[np.ndarray, np.ndarray]]
+
+#: Valid ``kind`` arguments of :func:`make_splitter`.
+SPLITTER_KINDS = ("tree", "matrix", "bitset", "sets")
 
 
 @runtime_checkable
@@ -71,15 +88,36 @@ def is_vector_policy(policy: object) -> bool:
     )
 
 
-def make_splitter(hierarchy: Hierarchy, num_targets: int) -> Splitter:
+def _tagged(split: Splitter, kind: str) -> Splitter:
+    split.kind = kind  # type: ignore[attr-defined]
+    return split
+
+
+def make_splitter(
+    hierarchy: Hierarchy, num_targets: int, *, kind: str | None = None
+) -> Splitter:
     """Choose the cheapest exact reachability split for this hierarchy.
 
-    ``num_targets`` steers the DAG trade-off: materialising the dense
-    reachability matrix only pays off when the walk will split large target
-    vectors many times; for a handful of Monte-Carlo targets the cached
-    per-node descendant sets are cheaper than an O(n^2/8) build.
+    ``num_targets`` steers the DAG trade-off: materialising an n^2-shaped
+    reachability index (dense matrix below ``_MATRIX_NODE_LIMIT`` nodes,
+    packed bitset block above it) only pays off when the walk will split
+    large target vectors many times; for a handful of Monte-Carlo targets
+    the cached per-node descendant sets are cheaper than the build.
+
+    ``kind`` forces a specific kernel (one of :data:`SPLITTER_KINDS`),
+    bypassing the heuristics — the parallel engine uses this so every worker
+    shard takes the kernel chosen once for the *full* target set, and the
+    parity tests use it to compare kernels on one hierarchy.  The chosen
+    kind is exposed as ``.kind`` on the returned callable.
     """
-    if hierarchy.is_tree:
+    if kind is not None and kind not in SPLITTER_KINDS:
+        raise HierarchyError(
+            f"unknown splitter kind {kind!r}; expected one of {SPLITTER_KINDS}"
+        )
+    if kind is None:
+        kind = _choose_kind(hierarchy, num_targets)
+
+    if kind == "tree":
         tin, tout = hierarchy.tree_intervals()
 
         def split_tree(qix: int, targets: np.ndarray):
@@ -87,18 +125,27 @@ def make_splitter(hierarchy: Hierarchy, num_targets: int) -> Splitter:
             mask = (times >= tin[qix]) & (times < tout[qix])
             return targets[mask], targets[~mask]
 
-        return split_tree
+        return _tagged(split_tree, "tree")
 
-    matrix = None
-    if num_targets * max(hierarchy.height, 1) >= hierarchy.n:
-        matrix = hierarchy.reachability_matrix(allow_large=False)
-    if matrix is not None:
+    if kind == "matrix":
+        matrix = hierarchy.reachability_matrix(allow_large=True)
 
         def split_matrix(qix: int, targets: np.ndarray):
             mask = matrix[qix][targets]
             return targets[mask], targets[~mask]
 
-        return split_matrix
+        return _tagged(split_matrix, "matrix")
+
+    if kind == "bitset":
+        bits = hierarchy.reachability_bits(allow_large=True)
+
+        def split_bits(qix: int, targets: np.ndarray):
+            row = bits[qix]
+            mask = (row[targets >> 3] >> (7 - (targets & 7))) & 1
+            mask = mask.astype(bool)
+            return targets[mask], targets[~mask]
+
+        return _tagged(split_bits, "bitset")
 
     def split_sets(qix: int, targets: np.ndarray):
         desc = hierarchy.descendants_ix(qix)
@@ -107,4 +154,24 @@ def make_splitter(hierarchy: Hierarchy, num_targets: int) -> Splitter:
         )
         return targets[mask], targets[~mask]
 
-    return split_sets
+    return _tagged(split_sets, "sets")
+
+
+def _choose_kind(hierarchy: Hierarchy, num_targets: int) -> str:
+    """The heuristic kernel choice (see :func:`make_splitter`)."""
+    if hierarchy.is_tree:
+        return "tree"
+    # An already-built index is free — reuse it no matter the walk size.
+    if hierarchy._reach_matrix is not None:
+        return "matrix"
+    if hierarchy._reach_bits is not None:
+        return "bitset"
+    # Otherwise an n^2-shaped index only pays off once the walk's total
+    # split work (~ num_targets * height memberships) rivals the build.
+    if num_targets * max(hierarchy.height, 1) < hierarchy.n:
+        return "sets"
+    if hierarchy.n <= _hierarchy_mod._MATRIX_NODE_LIMIT:
+        return "matrix"
+    if hierarchy.reachability_bits() is not None:
+        return "bitset"
+    return "sets"

@@ -52,6 +52,8 @@ def compare_policies(
     max_targets: int | None = None,
     rng: np.random.Generator | None = None,
     plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
 ) -> Comparison:
     """Evaluate every policy (or pre-compiled plan) under one configuration.
 
@@ -63,7 +65,11 @@ def compare_policies(
     (:func:`repro.evaluation.evaluate_expected_cost`), so comparing k
     policies costs k plan walks, not ``k * |targets|`` interactive
     searches; with ``plan_cache`` set, repeated runs of the same
-    configuration skip the compilations too.
+    configuration skip the compilations too.  ``jobs`` shards each walk
+    over worker processes and ``result_cache`` persists the per-target
+    cost arrays, so an unchanged configuration re-run skips the walks
+    entirely (both forwarded to
+    :func:`repro.engine.simulate_all_targets`).
     """
     targets = None
     if max_targets is not None and len(distribution.support) > max_targets:
@@ -78,6 +84,8 @@ def compare_policies(
             cost_model=cost_model,
             targets=targets,
             plan_cache=plan_cache,
+            jobs=jobs,
+            result_cache=result_cache,
         )
         for policy in policies
     )

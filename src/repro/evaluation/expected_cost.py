@@ -58,6 +58,8 @@ def evaluate_expected_cost(
     keep_per_target: bool = False,
     check_correctness: bool = True,
     plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
 ) -> EvaluationResult:
     """Exact or Monte-Carlo expected cost of a policy or compiled plan.
 
@@ -76,6 +78,13 @@ def evaluate_expected_cost(
     plan_cache:
         Forwarded to the engine: a :class:`~repro.plan.PlanCache` or
         directory path for persisting compiled plans across runs.
+    jobs:
+        Forwarded to the engine: shard the exact plan walk over this many
+        worker processes (identical numbers for every value).
+    result_cache:
+        Forwarded to the engine: an
+        :class:`~repro.engine.EngineResultCache` or directory path; an
+        unchanged configuration re-run skips the walk entirely.
     """
     model = cost_model or UnitCost()
     support = sorted(distribution.support, key=str)
@@ -109,6 +118,8 @@ def evaluate_expected_cost(
         targets=targets,
         check_correctness=check_correctness,
         plan_cache=plan_cache,
+        jobs=jobs,
+        result_cache=result_cache,
     )
     # Duplicate Monte-Carlo samples index the same engine entry repeatedly,
     # so the mean below weighs each target by its sample multiplicity.
@@ -144,6 +155,8 @@ def worst_case_cost(
     distribution: TargetDistribution | None = None,
     *,
     targets: Iterable[Hashable] | None = None,
+    jobs: int | None = None,
+    result_cache=None,
 ) -> int:
     """Maximum query count over the given targets (default: all nodes)."""
     engine = simulate_all_targets(
@@ -152,5 +165,7 @@ def worst_case_cost(
         distribution,
         targets=targets,
         check_correctness=False,
+        jobs=jobs,
+        result_cache=result_cache,
     )
     return engine.worst_case()

@@ -39,9 +39,13 @@ def _avg_search_ms(policy, hierarchy, distribution, targets) -> float:
     return 1000.0 * (time.perf_counter() - start) / len(targets)
 
 
-def _engine_ms_per_target(policy, hierarchy, distribution) -> float:
+def _engine_ms_per_target(policy, hierarchy, distribution, jobs=None) -> float:
     start = time.perf_counter()
-    simulate_all_targets(policy, hierarchy, distribution)
+    # result_cache=False: this column *times* the walk, so an installed
+    # default result cache must not turn it into a disk load.
+    simulate_all_targets(
+        policy, hierarchy, distribution, jobs=jobs, result_cache=False
+    )
     return 1000.0 * (time.perf_counter() - start) / hierarchy.n
 
 
@@ -52,13 +56,15 @@ def run(
     sizes: tuple[int, ...] | None = None,
     samples: int | None = None,
     naive_cap: int = 500,
+    jobs: int | None = None,
 ) -> Table:
     """Per-search time versus hierarchy size.
 
     ``sizes``/``samples`` default according to the scale preset.  The naive
     algorithm is only measured up to ``naive_cap`` nodes (it is O(n m) *per
     round*; beyond that it dominates the suite's runtime without adding
-    information).
+    information).  ``jobs`` shards the engine pass over worker processes
+    (``None`` inherits the process default, e.g. the CLI's ``--jobs``).
     """
     if sizes is None:
         sizes = (100, 200, 400) if scale.name == "tiny" else (250, 500, 1000, 2000)
@@ -101,7 +107,7 @@ def run(
         else:
             row["GreedyNaive (tree)"] = "-"
         row["Engine/target (tree)"] = _engine_ms_per_target(
-            GreedyTreePolicy(), tree, tree_dist
+            GreedyTreePolicy(), tree, tree_dist, jobs
         )
         table.add_row(row)
     return table

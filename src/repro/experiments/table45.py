@@ -37,8 +37,21 @@ PAPER_VALUES = {
 }
 
 
-def run_dataset(dataset: Dataset, scale: Scale, seed: int = 0) -> Table:
-    """One paper table (IV for the tree, V for the DAG)."""
+def run_dataset(
+    dataset: Dataset,
+    scale: Scale,
+    seed: int = 0,
+    *,
+    jobs: int | None = None,
+    result_cache=None,
+) -> Table:
+    """One paper table (IV for the tree, V for the DAG).
+
+    ``jobs`` and ``result_cache`` are forwarded to the engine (``None``
+    inherits the process defaults set by the CLI's ``--jobs`` /
+    ``--result-cache``); at paper scale the per-trial exact walks dominate
+    this driver, so both matter here most.
+    """
     number = "IV" if dataset.hierarchy.is_tree else "V"
     table = Table(
         f"Table {number} — cost under synthetic distributions on "
@@ -63,6 +76,8 @@ def run_dataset(dataset: Dataset, scale: Scale, seed: int = 0) -> Table:
                 distribution_name=family,
                 max_targets=scale.max_targets,
                 rng=rng,
+                jobs=jobs,
+                result_cache=result_cache,
             )
             for result in comparison.results:
                 sums[result.policy] = (
@@ -86,13 +101,21 @@ def run_dataset(dataset: Dataset, scale: Scale, seed: int = 0) -> Table:
 
 
 def run(
-    scale: Scale = SMALL, seed: int = 0, *, dataset_name: str | None = None
+    scale: Scale = SMALL,
+    seed: int = 0,
+    *,
+    dataset_name: str | None = None,
+    jobs: int | None = None,
+    result_cache=None,
 ) -> list[Table]:
     datasets = build_datasets(scale, seed)
     selected = [
         d for d in datasets if dataset_name is None or d.name == dataset_name
     ]
-    return [run_dataset(d, scale, seed) for d in selected]
+    return [
+        run_dataset(d, scale, seed, jobs=jobs, result_cache=result_cache)
+        for d in selected
+    ]
 
 
 def main(scale: Scale = SMALL, seed: int = 0) -> str:

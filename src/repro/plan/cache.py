@@ -78,6 +78,25 @@ class PlanCache:
             return None
         return plan
 
+    def probe(self, key: str) -> CompiledPlan | None:
+        """Look up a plan without compiling on a miss, counting the hit.
+
+        Used by the engine's sampled-evaluation path, which falls back to
+        a fused pruned walk (no compile) when nothing is on disk — so a
+        probe miss is *not* counted in :attr:`misses` (that counter tracks
+        compilations performed).  A corrupt entry is deleted after the
+        usual warning: no compile will overwrite it here, and without the
+        cleanup every later probe would warn about the same file.
+        """
+        plan = self.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        path = self.path_for(key)
+        if path.exists():  # get() warned: corrupt or foreign — drop it
+            path.unlink(missing_ok=True)
+        return None
+
     def put(self, plan: CompiledPlan) -> Path:
         """Store a plan under its own :attr:`~CompiledPlan.config_key`."""
         if not plan.config_key:

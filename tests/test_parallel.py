@@ -1,0 +1,533 @@
+"""Tests for the paper-scale evaluation substrate.
+
+Three subsystems under contract here:
+
+* the packed-bitset reachability block and the splitter kernels
+  (:meth:`repro.core.hierarchy.Hierarchy.reachability_bits`,
+  :func:`repro.engine.make_splitter`) — every kind must produce identical
+  splits on trees and on DAGs straddling ``_MATRIX_NODE_LIMIT``;
+* the sharded parallel engine (:mod:`repro.engine.parallel`) — the
+  :class:`~repro.engine.EngineResult` arrays *and* ``decision_nodes`` must
+  be bit-identical for every ``jobs`` value;
+* the persistent engine-result cache (:mod:`repro.engine.cache`) —
+  hit/miss/corrupt-entry behaviour mirroring the plan cache's suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import hierarchy as hierarchy_mod
+from repro.core.costs import TableCost
+from repro.engine import (
+    EngineResultCache,
+    make_splitter,
+    resolve_jobs,
+    set_default_jobs,
+    set_default_result_cache,
+    simulate_all_targets,
+)
+from repro.exceptions import HierarchyError
+from repro.policies import GreedyDagPolicy, GreedyTreePolicy, make_policy
+from repro.testing import (
+    make_random_dag,
+    make_random_tree,
+    random_distribution,
+)
+
+
+def _fresh_dag(n=40, seed=3):
+    return make_random_dag(n, seed=seed)
+
+
+def _assert_same_result(a, b):
+    """Two EngineResults must agree bit for bit (the sharding contract)."""
+    assert a.policy == b.policy
+    assert a.method == b.method
+    assert a.decision_nodes == b.decision_nodes
+    assert np.array_equal(a.target_ix, b.target_ix)
+    assert np.array_equal(a.queries, b.queries)
+    assert np.array_equal(a.prices, b.prices, equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Packed-bitset reachability
+# ----------------------------------------------------------------------
+class TestBitsetReachability:
+    def test_rows_match_dense_matrix(self):
+        hierarchy = _fresh_dag()
+        bits = hierarchy.reachability_bits()
+        matrix = hierarchy.reachability_matrix()
+        assert bits.shape == (hierarchy.n, (hierarchy.n + 7) // 8)
+        for u in range(hierarchy.n):
+            unpacked = np.unpackbits(bits[u], count=hierarchy.n).astype(bool)
+            assert np.array_equal(unpacked, matrix[u])
+
+    def test_cached_and_read_only(self):
+        hierarchy = _fresh_dag()
+        bits = hierarchy.reachability_bits()
+        assert hierarchy.reachability_bits() is bits
+        assert not bits.flags.writeable
+
+    def test_size_limit(self, monkeypatch):
+        monkeypatch.setattr(hierarchy_mod, "_BITSET_BYTE_LIMIT", 8)
+        hierarchy = _fresh_dag()
+        assert hierarchy.reachability_bits() is None
+        assert hierarchy.reachability_bits(allow_large=True) is not None
+
+    def test_legacy_slot_tuple_pickles_still_load(self):
+        """Plan-cache entries written before __getstate__ must not be
+        misreported as corrupt (their state is a (None, slots) tuple)."""
+        hierarchy = _fresh_dag()
+        legacy = (
+            None,
+            {s: getattr(hierarchy, s) for s in hierarchy.__slots__},
+        )
+        clone = object.__new__(hierarchy_mod.Hierarchy)
+        clone.__setstate__(legacy)
+        assert clone.fingerprint() == hierarchy.fingerprint()
+        assert clone.descendants_ix(0) == hierarchy.descendants_ix(0)
+
+    def test_lazy_caches_excluded_from_pickles(self):
+        """Plan-cache files / worker pickles must not embed n^2/8 caches."""
+        import pickle
+
+        hierarchy = _fresh_dag()
+        cold = len(pickle.dumps(hierarchy))
+        hierarchy.reachability_bits()
+        hierarchy.reachability_matrix()
+        for ix in range(hierarchy.n):
+            hierarchy.descendants_ix(ix)
+        warm = len(pickle.dumps(hierarchy))
+        assert warm <= cold * 1.1  # indexes rebuild on demand, not shipped
+        clone = pickle.loads(pickle.dumps(hierarchy))
+        assert clone.fingerprint() == hierarchy.fingerprint()
+        assert np.array_equal(
+            clone.reachability_bits(), hierarchy.reachability_bits()
+        )
+
+
+# ----------------------------------------------------------------------
+# Splitter kernels
+# ----------------------------------------------------------------------
+class TestSplitterKinds:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_dag_kinds_agree(self, seed):
+        hierarchy = _fresh_dag(seed=seed)
+        targets = np.arange(hierarchy.n, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        splitters = {
+            kind: make_splitter(hierarchy, hierarchy.n, kind=kind)
+            for kind in ("matrix", "bitset", "sets")
+        }
+        for qix in rng.integers(0, hierarchy.n, size=10):
+            reference = None
+            for kind, split in splitters.items():
+                yes, no = split(int(qix), targets)
+                assert np.concatenate([np.sort(yes), np.sort(no)]).size == len(
+                    targets
+                )
+                if reference is None:
+                    reference = (yes, no)
+                else:
+                    assert np.array_equal(yes, reference[0]), kind
+                    assert np.array_equal(no, reference[1]), kind
+
+    def test_tree_kind_agrees_with_every_forced_kind(self):
+        hierarchy = make_random_tree(35, seed=7)
+        targets = np.arange(hierarchy.n, dtype=np.int64)
+        tree_split = make_splitter(hierarchy, hierarchy.n)
+        assert tree_split.kind == "tree"
+        for kind in ("matrix", "bitset", "sets"):
+            other = make_splitter(hierarchy, hierarchy.n, kind=kind)
+            for qix in range(hierarchy.n):
+                assert np.array_equal(
+                    np.sort(tree_split(qix, targets)[0]),
+                    np.sort(other(qix, targets)[0]),
+                ), kind
+
+    def test_auto_kind_straddles_matrix_limit(self, monkeypatch):
+        """Above _MATRIX_NODE_LIMIT the big-walk DAG kernel is the bitset."""
+        hierarchy = _fresh_dag()
+        below = make_splitter(hierarchy, hierarchy.n)
+        assert below.kind == "matrix"
+        fresh = _fresh_dag()  # no cached matrix to be reused
+        monkeypatch.setattr(hierarchy_mod, "_MATRIX_NODE_LIMIT", 16)
+        above = make_splitter(fresh, fresh.n)
+        assert above.kind == "bitset"
+
+    def test_auto_kind_small_walks_use_sets(self):
+        hierarchy = _fresh_dag()
+        assert make_splitter(hierarchy, 1).kind == "sets"
+
+    def test_auto_kind_reuses_built_index(self):
+        hierarchy = _fresh_dag()
+        hierarchy.reachability_bits()
+        # Even a tiny walk uses the bitset once it has been paid for.
+        assert make_splitter(hierarchy, 1).kind == "bitset"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HierarchyError, match="splitter kind"):
+            make_splitter(_fresh_dag(), 4, kind="quantum")
+
+
+# ----------------------------------------------------------------------
+# Sharded parallel engine
+# ----------------------------------------------------------------------
+class TestShardedEngine:
+    def test_tree_jobs_bit_identical(self):
+        hierarchy = make_random_tree(120, seed=9)
+        distribution = random_distribution(hierarchy, 9)
+        sequential = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, jobs=1
+        )
+        for jobs in (2, 4):
+            sharded = simulate_all_targets(
+                GreedyTreePolicy(), hierarchy, distribution, jobs=jobs
+            )
+            assert sharded.method == "plan"
+            _assert_same_result(sequential, sharded)
+
+    def test_dag_bitset_path_jobs_bit_identical(self, monkeypatch):
+        monkeypatch.setattr(hierarchy_mod, "_MATRIX_NODE_LIMIT", 16)
+        hierarchy = _fresh_dag(n=60, seed=4)
+        distribution = random_distribution(hierarchy, 4)
+        sequential = simulate_all_targets(
+            GreedyDagPolicy(), hierarchy, distribution, jobs=1
+        )
+        sharded = simulate_all_targets(
+            GreedyDagPolicy(), hierarchy, distribution, jobs=3
+        )
+        _assert_same_result(sequential, sharded)
+
+    def test_restricted_targets_jobs_bit_identical(self):
+        hierarchy = make_random_tree(80, seed=10)
+        distribution = random_distribution(hierarchy, 10)
+        sample = list(hierarchy.nodes[::2])
+        kwargs = dict(targets=sample, max_queries=2 * hierarchy.n + 10)
+        sequential = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, jobs=1, **kwargs
+        )
+        sharded = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, jobs=2, **kwargs
+        )
+        _assert_same_result(sequential, sharded)
+
+    def test_heterogeneous_prices_jobs_bit_identical(self):
+        hierarchy = make_random_tree(60, seed=12)
+        distribution = random_distribution(hierarchy, 12)
+        costs = TableCost(
+            {node: 1.0 + (i % 5) for i, node in enumerate(hierarchy.nodes)}
+        )
+        sequential = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, costs, jobs=1
+        )
+        sharded = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, costs, jobs=2
+        )
+        _assert_same_result(sequential, sharded)
+
+    def test_loaded_plan_with_callers_hierarchy_jobs_bit_identical(
+        self, tmp_path
+    ):
+        """Workers must walk with the caller's (pre-warmed) hierarchy."""
+        from repro.plan import CompiledPlan, compile_policy
+
+        hierarchy = make_random_tree(80, seed=13)
+        distribution = random_distribution(hierarchy, 13)
+        plan = compile_policy(GreedyTreePolicy(), hierarchy, distribution)
+        plan.save(tmp_path / "p.plan")
+        loaded = CompiledPlan.load(tmp_path / "p.plan")
+        assert loaded.hierarchy is not hierarchy  # equal but distinct
+        sequential = simulate_all_targets(loaded, hierarchy, jobs=1)
+        sharded = simulate_all_targets(loaded, hierarchy, jobs=2)
+        _assert_same_result(sequential, sharded)
+
+    def test_replay_policy_falls_back_sequential(self):
+        hierarchy = make_random_tree(25, seed=11)
+        distribution = random_distribution(hierarchy, 11)
+        sequential = simulate_all_targets(
+            make_policy("random"), hierarchy, distribution, jobs=1
+        )
+        parallel = simulate_all_targets(
+            make_policy("random"), hierarchy, distribution, jobs=4
+        )
+        assert parallel.method == "replay"
+        _assert_same_result(sequential, parallel)
+
+    def test_resolve_jobs(self):
+        import os
+
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+        assert resolve_jobs(-1) == max(1, os.cpu_count() or 1)
+        set_default_jobs(2)
+        try:
+            assert resolve_jobs(None) == 2
+            assert resolve_jobs(1) == 1  # explicit beats the default
+        finally:
+            set_default_jobs(None)
+        assert resolve_jobs(None) == 1
+
+
+# ----------------------------------------------------------------------
+# Persistent engine-result cache (mirrors tests/test_plan.py's cache suite)
+# ----------------------------------------------------------------------
+class TestEngineResultCache:
+    def _config(self, seed=21):
+        hierarchy = make_random_tree(30, seed=seed)
+        return hierarchy, random_distribution(hierarchy, seed)
+
+    def test_hit_on_identical_config(self, tmp_path):
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        first = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        _assert_same_result(first, second)
+
+    def test_miss_on_any_changed_ingredient(self, tmp_path):
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        base = dict(result_cache=cache)
+        simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, **base
+        )
+        # Different distribution, prices, policy, targets, budget: all miss.
+        simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            random_distribution(hierarchy, 77),
+            **base,
+        )
+        simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            TableCost({node: 2.0 for node in hierarchy.nodes}),
+            **base,
+        )
+        simulate_all_targets(
+            make_policy("topdown"), hierarchy, distribution, **base
+        )
+        simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=list(hierarchy.nodes),
+            max_queries=hierarchy.n + 5,
+            **base,
+        )
+        assert (cache.hits, cache.misses) == (0, 5)
+
+    def test_corrupt_entry_rewalks_and_heals(self, tmp_path):
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        first = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"garbage" * 10)
+        with pytest.warns(UserWarning, match="unreadable engine-result"):
+            again = simulate_all_targets(
+                GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+            )
+        assert cache.errors == 1
+        assert (cache.hits, cache.misses) == (0, 2)
+        _assert_same_result(first, again)
+        # The corrupt entry was overwritten with a good one.
+        final = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        assert cache.hits == 1
+        _assert_same_result(first, final)
+
+    def test_foreign_hierarchy_entry_rejected(self, tmp_path):
+        """An entry recorded on another hierarchy must not be served."""
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        result = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        other, _ = self._config(seed=22)
+        (entry,) = tmp_path.glob("*.npz")
+        key = entry.stem
+        from repro.engine import result_key  # sanity: key is content-derived
+
+        assert len(key) == len(
+            result_key("x", result.target_ix, 1, np.ones(hierarchy.n))
+        )
+        with pytest.warns(UserWarning, match="unreadable engine-result"):
+            assert cache.get(key, other) is None
+        assert cache.errors == 1
+
+    def test_uncacheable_policy_never_written(self, tmp_path):
+        from repro.core.decision_tree import build_decision_tree
+        from repro.policies import StaticTreePolicy
+
+        hierarchy, distribution = self._config()
+        tree = build_decision_tree(GreedyTreePolicy, hierarchy, distribution)
+        cache = EngineResultCache(tmp_path)
+        engine = simulate_all_targets(
+            StaticTreePolicy(tree), hierarchy, distribution, result_cache=cache
+        )
+        assert engine.num_targets == hierarchy.n
+        assert not any(tmp_path.iterdir())
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_replay_policy_results_cached(self, tmp_path):
+        """Seeded replay results are deterministic, so they cache too."""
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        first = simulate_all_targets(
+            make_policy("random"), hierarchy, distribution, result_cache=cache
+        )
+        second = simulate_all_targets(
+            make_policy("random"), hierarchy, distribution, result_cache=cache
+        )
+        assert first.method == "replay"
+        assert (cache.hits, cache.misses) == (1, 1)
+        _assert_same_result(first, second)
+
+    def test_pruned_walk_results_cached(self, tmp_path):
+        """Sampled (fused-walk) evaluations cache per target-set."""
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        sample = list(hierarchy.nodes[:3])
+        first = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=sample,
+            result_cache=cache,
+        )
+        assert first.method == "vector"
+        second = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=sample,
+            result_cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        _assert_same_result(first, second)
+
+    def test_plan_walked_under_different_cost_model_misses(self, tmp_path):
+        """One plan, two walk-time cost models: entries must not collide."""
+        from repro.plan import compile_policy
+
+        hierarchy, distribution = self._config()
+        plan = compile_policy(GreedyTreePolicy(), hierarchy, distribution)
+        cache = EngineResultCache(tmp_path)
+        priced = TableCost({node: 3.0 for node in hierarchy.nodes})
+        unit = simulate_all_targets(plan, result_cache=cache)
+        table = simulate_all_targets(
+            plan, cost_model=priced, result_cache=cache
+        )
+        assert (cache.hits, cache.misses) == (0, 2)  # no collision
+        assert table.mean_price() == pytest.approx(3.0 * unit.mean_price())
+        # Each configuration hits its own entry on the re-run.
+        again = simulate_all_targets(
+            plan, cost_model=priced, result_cache=cache
+        )
+        assert cache.hits == 1
+        _assert_same_result(table, again)
+
+    def test_unchecked_entry_refused_by_checked_call(self, tmp_path):
+        """check_correctness=True must never be served unvalidated numbers."""
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        unchecked = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            check_correctness=False,
+            result_cache=cache,
+        )
+        checked = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            check_correctness=True,
+            result_cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (0, 2)  # unchecked entry refused
+        _assert_same_result(unchecked, checked)
+        # The checked walk overwrote the entry; both call styles now hit.
+        simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, result_cache=cache
+        )
+        simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            check_correctness=False,
+            result_cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (2, 2)
+
+    def test_default_cache_installed(self, tmp_path):
+        hierarchy, distribution = self._config()
+        cache = EngineResultCache(tmp_path)
+        set_default_result_cache(cache)
+        try:
+            simulate_all_targets(GreedyTreePolicy(), hierarchy, distribution)
+            simulate_all_targets(GreedyTreePolicy(), hierarchy, distribution)
+            # result_cache=False opts out of the installed default: timed
+            # callers must never be served (or write) cache entries.
+            simulate_all_targets(
+                GreedyTreePolicy(),
+                hierarchy,
+                distribution,
+                result_cache=False,
+            )
+        finally:
+            set_default_result_cache(None)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # With the default cleared, nothing else is read or written.
+        simulate_all_targets(GreedyTreePolicy(), hierarchy, distribution)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# EngineResult.per_target memoization
+# ----------------------------------------------------------------------
+class TestPerTargetMemoized:
+    def test_same_mapping_returned(self):
+        hierarchy = make_random_tree(20, seed=5)
+        distribution = random_distribution(hierarchy, 5)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution
+        )
+        first = engine.per_target()
+        assert engine.per_target() is first  # memoized, not rebuilt
+        assert first[hierarchy.nodes[-1]] == engine.query_count(
+            hierarchy.nodes[-1]
+        )
+
+    def test_mapping_is_read_only(self):
+        hierarchy = make_random_tree(12, seed=6)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, random_distribution(hierarchy, 6)
+        )
+        with pytest.raises(TypeError):
+            engine.per_target()["x"] = 1
+
+    def test_result_stays_picklable_after_memoization(self):
+        import pickle
+
+        hierarchy = make_random_tree(12, seed=6)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, random_distribution(hierarchy, 6)
+        )
+        first = engine.per_target()
+        clone = pickle.loads(pickle.dumps(engine))
+        assert dict(clone.per_target()) == dict(first)
+        assert np.array_equal(clone.queries, engine.queries)

@@ -483,8 +483,8 @@ class TestEngineOnPlans:
         for target in sample:
             assert engine.query_count(target) == full.query_count(target)
 
-    def test_restricted_targets_with_cache_compile_once(self, tmp_path):
-        """With a cache, sampled evaluation compiles (reusably) instead."""
+    def test_small_sample_with_cache_takes_pruned_walk(self, tmp_path):
+        """A one-shot small sample never pays for a full compile."""
         hierarchy = make_random_tree(30, seed=42)
         distribution = random_distribution(hierarchy, 42)
         cache = PlanCache(tmp_path)
@@ -493,6 +493,70 @@ class TestEngineOnPlans:
             hierarchy,
             distribution,
             targets=list(hierarchy.nodes[:3]),
+            plan_cache=cache,
+        )
+        assert engine.method == "vector"
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert not any(tmp_path.iterdir())  # nothing was compiled to disk
+
+    def test_sampled_eval_loads_plan_already_on_disk(self, tmp_path):
+        """Once a plan is cached, sampled runs load it instead of walking."""
+        hierarchy = make_random_tree(30, seed=42)
+        distribution = random_distribution(hierarchy, 42)
+        cache = PlanCache(tmp_path)
+        full = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, plan_cache=cache
+        )
+        assert cache.misses == 1  # the full run compiled and stored the plan
+        engine = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=list(hierarchy.nodes[:3]),
+            plan_cache=cache,
+        )
+        assert engine.method == "plan"
+        assert cache.hits == 1
+        for node in hierarchy.nodes[:3]:
+            assert engine.query_count(node) == full.query_count(node)
+
+    def test_sampled_probe_heals_corrupt_cache_entry(self, tmp_path):
+        """A corrupt entry warns once, is deleted, then misses silently."""
+        from repro.plan.compile import plan_key
+
+        hierarchy = make_random_tree(30, seed=42)
+        distribution = random_distribution(hierarchy, 42)
+        cache = PlanCache(tmp_path)
+        key = plan_key(GreedyTreePolicy(), hierarchy, distribution)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_bytes(b"garbage" * 10)
+        kwargs = dict(
+            targets=list(hierarchy.nodes[:3]), plan_cache=cache
+        )
+        with pytest.warns(UserWarning, match="unreadable plan-cache entry"):
+            engine = simulate_all_targets(
+                GreedyTreePolicy(), hierarchy, distribution, **kwargs
+            )
+        assert engine.method == "vector"  # fell back to the pruned walk
+        assert cache.errors == 1
+        assert not cache.path_for(key).exists()  # bad entry dropped
+        # The next probe is a clean, silent miss.
+        again = simulate_all_targets(
+            GreedyTreePolicy(), hierarchy, distribution, **kwargs
+        )
+        assert again.method == "vector"
+        assert cache.errors == 1
+
+    def test_large_sample_with_cache_compiles_through_it(self, tmp_path):
+        """A sample that would retrace most of the plan compiles reusably."""
+        hierarchy = make_random_tree(30, seed=42)
+        distribution = random_distribution(hierarchy, 42)
+        cache = PlanCache(tmp_path)
+        engine = simulate_all_targets(
+            GreedyTreePolicy(),
+            hierarchy,
+            distribution,
+            targets=list(hierarchy.nodes[:-1]),
             plan_cache=cache,
         )
         assert engine.method == "plan"
