@@ -1,9 +1,9 @@
-"""Paper-scale acceptance benchmark: sharded walks, bitset splits, result cache.
+"""Paper-scale acceptance benchmark: sharded walks, bitset splits, caches, pool.
 
-The three scaling levers of the parallel-evaluation PR, measured on one
-exact all-targets evaluation of a >= 10k-node ImageNet-like DAG (above
+The scaling levers of the parallel-evaluation PRs, measured on one exact
+all-targets evaluation of a >= 10k-node ImageNet-like DAG (above
 ``_MATRIX_NODE_LIMIT``, so the packed-bitset reachability block is the
-active splitter):
+active splitter) plus a small-n companion DAG for the persistent pool:
 
 * **sharded walk** — ``simulate_all_targets(plan, jobs=N)`` versus the
   sequential ``jobs=1`` walk, with bit-identical per-target arrays.  Note
@@ -12,7 +12,12 @@ active splitter):
 * **bitset splitter** — the packed-bitset kernel versus the legacy
   cached-descendant-``frozenset`` membership scan it replaces on big DAGs;
 * **engine-result cache** — a warm :class:`repro.engine.EngineResultCache`
-  must answer in O(load) time with zero plan walks.
+  must answer in O(load) time with zero plan walks;
+* **persistent pool** — repeated *small-n* evaluations on a warm
+  :class:`repro.engine.EvaluationPool` versus per-call pool spin-ups (the
+  ~20 ms fork-and-pickle tax the pool removes), and an overlapped
+  ``compare_policies(..., pool=...)`` versus policy-serial sharded walks —
+  both with results exactly equal to the serial path.
 
 Run standalone::
 
@@ -29,6 +34,16 @@ Environment knobs:
 ``REPRO_BENCH_PARALLEL_MIN_SPEEDUP``
     Speedup floor asserted by the CI gate (default 2.0; the gate is skipped
     on single-core machines, where no wall-clock speedup is possible).
+``REPRO_BENCH_POOL_N`` / ``REPRO_BENCH_POOL_REPEATS``
+    Node count (default 400) and repetition count (default 8) of the
+    small-n warm-pool measurement — small on purpose: this is the regime
+    where per-call pool spin-up dominates and the persistent pool pays.
+``REPRO_BENCH_POOL_MIN_SPEEDUP``
+    Warm-pool floor (default 5.0; capped at 2.5 on single-core machines,
+    where queue round-trips contend with the walk for the one core).
+``REPRO_BENCH_POOL_MIN_OVERLAP``
+    Overlapped-compare floor (default 1.2; skipped on single-core
+    machines — overlap is a parallelism claim).
 """
 
 from __future__ import annotations
@@ -51,7 +66,13 @@ import numpy as np
 from bench_json import write_bench_json
 from bench_neutral import neutral_defaults
 from repro.core.distribution import TargetDistribution
-from repro.engine import EngineResultCache, make_splitter, simulate_all_targets
+from repro.engine import (
+    EngineResultCache,
+    EvaluationPool,
+    make_splitter,
+    simulate_all_targets,
+)
+from repro.evaluation.comparison import compare_policies
 from repro.plan import compile_policy
 from repro.policies import make_policy
 from repro.taxonomy import imagenet_like
@@ -155,6 +176,64 @@ def _timed_benchmark(
             and cold.decision_nodes == warm.decision_nodes
         )
 
+    # Persistent pool: repeated small-n evaluations + overlapped compare.
+    # Small on purpose — this is the regime where the ~20 ms per-call pool
+    # spin-up dominates and a warm pool's queue round-trips do not.
+    pool_n = int(os.environ.get("REPRO_BENCH_POOL_N", "400"))
+    pool_repeats = int(os.environ.get("REPRO_BENCH_POOL_REPEATS", "8"))
+    small = imagenet_like(pool_n, seed=seed + 1)
+    small_dist = TargetDistribution.equal(small)
+    small_plans = [
+        compile_policy(make_policy(name), small, small_dist)
+        for name in ("topdown", "greedy-dag")
+    ]
+    lead = small_plans[0]
+    reference = simulate_all_targets(
+        lead, jobs=1, result_cache=False, pool=False
+    )
+    start = time.perf_counter()
+    for _ in range(pool_repeats):
+        per_call = simulate_all_targets(
+            lead, jobs=jobs, result_cache=False, pool=False
+        )
+    pool_cold_seconds = time.perf_counter() - start
+    with EvaluationPool(workers=jobs) as pool:
+        # One priming walk publishes the plan and attaches every worker;
+        # the timed region is the steady warm state a long-lived service
+        # actually runs in.
+        simulate_all_targets(lead, result_cache=False, pool=pool)
+        start = time.perf_counter()
+        for _ in range(pool_repeats):
+            warm_pooled = simulate_all_targets(
+                lead, result_cache=False, pool=pool
+            )
+        pool_warm_seconds = time.perf_counter() - start
+        pool_parity = (
+            np.array_equal(reference.queries, warm_pooled.queries)
+            and np.array_equal(reference.queries, per_call.queries)
+            and reference.decision_nodes
+            == warm_pooled.decision_nodes
+            == per_call.decision_nodes
+        )
+
+        start = time.perf_counter()
+        serial_cmp = compare_policies(
+            small_plans, small, small_dist,
+            jobs=jobs, pool=False, result_cache=False,
+        )
+        compare_serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        overlap_cmp = compare_policies(
+            small_plans, small, small_dist, pool=pool, result_cache=False
+        )
+        compare_overlap_seconds = time.perf_counter() - start
+        compare_parity = all(
+            a.policy == b.policy
+            and a.expected_queries == b.expected_queries
+            and a.expected_price == b.expected_price
+            for a, b in zip(serial_cmp.results, overlap_cmp.results)
+        )
+
     return {
         "benchmark": "bench_parallel",
         "policy": plan.policy_name,
@@ -180,6 +259,18 @@ def _timed_benchmark(
         "result_cache_warm_seconds": round(warm_seconds, 6),
         "speedup_warm_cache": round(cold_seconds / warm_seconds, 2),
         "result_cache_ok": cache_ok,
+        "pool_n": small.n,
+        "pool_repeats": pool_repeats,
+        "pool_cold_seconds": round(pool_cold_seconds, 6),
+        "pool_warm_seconds": round(pool_warm_seconds, 6),
+        "speedup_warm_pool": round(pool_cold_seconds / pool_warm_seconds, 2),
+        "pool_parity_ok": pool_parity,
+        "compare_serial_seconds": round(compare_serial_seconds, 6),
+        "compare_overlap_seconds": round(compare_overlap_seconds, 6),
+        "speedup_overlap": round(
+            compare_serial_seconds / compare_overlap_seconds, 2
+        ),
+        "compare_parity_ok": compare_parity,
     }
 
 
@@ -211,6 +302,31 @@ def _check(payload: dict, min_speedup: float) -> list[str]:
         failures.append(
             f"jobs=2 walk speedup {payload['speedup_jobs2']}x is below "
             f"the {two_floor}x floor"
+        )
+    if not payload["pool_parity_ok"]:
+        failures.append("warm-pool walk diverged from the sequential arrays")
+    if not payload["compare_parity_ok"]:
+        failures.append(
+            "overlapped compare_policies diverged from the serial comparison"
+        )
+    pool_floor = float(os.environ.get("REPRO_BENCH_POOL_MIN_SPEEDUP", "5.0"))
+    if (os.cpu_count() or 1) < 2:
+        # Overhead elimination works on one core too, but the warm walk's
+        # queue round-trips then contend with the walk for that core.
+        pool_floor = min(pool_floor, 2.5)
+    if payload["speedup_warm_pool"] < pool_floor:
+        failures.append(
+            f"warm-pool speedup {payload['speedup_warm_pool']}x on repeated "
+            f"small-n (n={payload['pool_n']}) evaluations is below the "
+            f"{pool_floor}x floor over per-call pools"
+        )
+    overlap_floor = float(
+        os.environ.get("REPRO_BENCH_POOL_MIN_OVERLAP", "1.2")
+    )
+    if (os.cpu_count() or 1) >= 2 and payload["speedup_overlap"] < overlap_floor:
+        failures.append(
+            f"overlapped compare_policies speedup {payload['speedup_overlap']}x "
+            f"is below the {overlap_floor}x floor over policy-serial sharding"
         )
     return failures
 

@@ -8,7 +8,9 @@ Three modes:
   disk so repeated runs skip identical compilations; ``--jobs N`` shards
   exact plan walks over N worker processes; ``--result-cache DIR``
   persists the per-target cost arrays so re-running an unchanged
-  evaluation skips the walk entirely;
+  evaluation skips the walk entirely; ``--pool [N]`` serves every plan
+  walk from a persistent shared-memory worker pool (no per-call forking,
+  comparison tables overlap their competitors' walks);
 * interactive mode — ``python -m repro interactive --edges hierarchy.tsv``
   categorises one object by asking *you* the reachability questions, i.e.
   the paper's crowdsourcing workflow with a human-in-the-terminal oracle
@@ -95,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
         "arrays) under DIR (e.g. results/enginecache) so re-running an "
         "unchanged evaluation skips the walk entirely",
     )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        nargs="?",
+        const=0,
+        metavar="N",
+        help="experiment mode: serve plan walks from a persistent pool of "
+        "N long-lived workers sharing plans via shared memory (bare "
+        "--pool or 0 = all cores); repeated and multi-policy evaluations "
+        "skip the per-call pool spin-up, and compare tables overlap the "
+        "competitors' walks.  REPRO_POOL_WORKERS installs the same "
+        "default without a flag",
+    )
     return parser
 
 
@@ -168,6 +183,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine import set_default_result_cache
 
         set_default_result_cache(args.result_cache)
+    if args.pool is not None:
+        from repro.engine import EvaluationPool, set_default_pool
+
+        # Closed by the engine's atexit hook; every experiment entry point
+        # below routes its plan walks through this pool automatically.
+        set_default_pool(EvaluationPool(args.pool or None))
     scale = get_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

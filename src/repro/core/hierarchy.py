@@ -472,6 +472,27 @@ class Hierarchy:
         self._reach_bits = bits
         return bits
 
+    def adopt_reachability_bits(self, bits: np.ndarray) -> None:
+        """Install an externally built packed-bitset reachability block.
+
+        The persistent evaluation pool (:mod:`repro.engine.pool`) publishes
+        the block once into shared memory; every worker then installs a
+        zero-copy read-only view over the mapped buffer instead of paying
+        the ``O(m n / 8)`` build (or ``n^2 / 8`` bytes of private memory)
+        per process.  Only the shape is validated — the caller vouches that
+        the bits were built on a fingerprint-identical hierarchy.
+        """
+        expected = (self.n, (self.n + 7) >> 3)
+        if bits.dtype != np.uint8 or bits.shape != expected:
+            raise HierarchyError(
+                f"reachability block has dtype {bits.dtype}, shape "
+                f"{bits.shape}; expected uint8 with shape {expected}"
+            )
+        if bits.flags.writeable:
+            bits = bits.view()
+            bits.setflags(write=False)
+        self._reach_bits = bits
+
     def reach_weight_vector(self, weights: np.ndarray) -> np.ndarray:
         """``w(G_v)`` for every node ``v``: total weight of its reachable set.
 

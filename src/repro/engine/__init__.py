@@ -6,23 +6,36 @@ the amortized, index-level evaluation path the paper's efficiency
 experiments (Fig. 6) presume, instead of one ``run_search`` per target.
 See :mod:`repro.engine.driver` for the algorithm, :mod:`repro.engine.vector`
 for the undo protocol and splitting kernels, :mod:`repro.engine.parallel`
-for the sharded multi-process walk (``jobs=``), and
-:mod:`repro.engine.cache` for the persistent engine-result cache
-(``result_cache=``).
+for the sharded multi-process walk (``jobs=``), :mod:`repro.engine.cache`
+for the persistent engine-result cache (``result_cache=``), and
+:mod:`repro.engine.pool` for the persistent shared-memory worker pool
+(``pool=``) that serves repeated and multi-policy evaluations without
+re-forking or re-pickling plans.
 """
 
 from repro.engine.cache import (
     EngineResultCache,
     as_result_cache,
     get_default_result_cache,
+    resolve_result_cache,
     result_key,
     set_default_result_cache,
 )
-from repro.engine.driver import EngineResult, simulate_all_targets
+from repro.engine.driver import (
+    EngineResult,
+    simulate_all_targets,
+    simulate_policies,
+)
 from repro.engine.parallel import (
     get_default_jobs,
     resolve_jobs,
     set_default_jobs,
+)
+from repro.engine.pool import (
+    EvaluationPool,
+    get_default_pool,
+    resolve_pool,
+    set_default_pool,
 )
 from repro.engine.vector import (
     SPLITTER_KINDS,
@@ -34,16 +47,22 @@ from repro.engine.vector import (
 __all__ = [
     "EngineResult",
     "EngineResultCache",
+    "EvaluationPool",
     "SPLITTER_KINDS",
     "VectorPolicy",
     "as_result_cache",
     "get_default_jobs",
+    "get_default_pool",
     "get_default_result_cache",
     "is_vector_policy",
     "make_splitter",
     "resolve_jobs",
+    "resolve_pool",
+    "resolve_result_cache",
     "result_key",
     "set_default_jobs",
+    "set_default_pool",
     "set_default_result_cache",
     "simulate_all_targets",
+    "simulate_policies",
 ]

@@ -208,6 +208,22 @@ def as_result_cache(cache) -> EngineResultCache | None:
     return EngineResultCache(cache)
 
 
+def resolve_result_cache(result_cache) -> EngineResultCache | None:
+    """Resolve the engine's ``result_cache`` argument to a usable cache.
+
+    ``False`` disables caching outright (ignoring the process default) —
+    the opt-out timing callers rely on; ``None`` falls back to
+    :func:`get_default_result_cache`; anything else coerces through
+    :func:`as_result_cache`.
+    """
+    if result_cache is False:
+        return None
+    rcache = as_result_cache(result_cache)
+    if rcache is None:
+        rcache = get_default_result_cache()
+    return rcache
+
+
 _UNSET = object()
 _default_result_cache: EngineResultCache | None | object = _UNSET
 

@@ -160,72 +160,52 @@ class EngineResult:
         return int(len(self.target_ix))
 
 
-def simulate_all_targets(
-    policy: Policy | CompiledPlan,
-    hierarchy: Hierarchy | None = None,
-    distribution: TargetDistribution | None = None,
-    cost_model: QueryCostModel | None = None,
-    *,
-    targets: Iterable[Hashable] | None = None,
-    check_correctness: bool = True,
-    max_queries: int | None = None,
-    plan_cache=None,
-    jobs: int | None = None,
-    result_cache=None,
-) -> EngineResult:
-    """Simulate a policy or compiled plan against every target in one pass.
+@dataclass
+class _PreparedRun:
+    """One evaluation, resolved up to (but excluding) the walk itself.
 
-    Produces, for each target, exactly the query count and total price that
-    ``run_search`` with an :class:`ExactOracle` would produce — the parity
-    tests assert equality, not approximation.
-
-    Parameters
-    ----------
-    policy:
-        A policy (compiled on the fly when it supports exact undo) or an
-        already-compiled :class:`~repro.plan.CompiledPlan`.
-    hierarchy:
-        Required for policies; optional for plans (defaults to the plan's
-        own hierarchy, and must have the same node indexing if given).
-    targets:
-        Restrict the evaluation to these labels (duplicates collapse; the
-        walk prunes branches no requested target can reach, and — unless a
-        full plan is already compiled or cached on disk — a small sample
-        skips plan compilation entirely in favour of a fused pruned walk).
-        Default: all ``n`` nodes.
-    check_correctness:
-        Verify the policy identifies every simulated target.
-    max_queries:
-        Per-search budget, defaulting to ``2 n + 10`` as in ``run_search``.
-    plan_cache:
-        A :class:`~repro.plan.PlanCache` or directory path; compiled plans
-        are loaded from / stored into it by configuration content hash.
-        ``None`` falls back to :func:`repro.plan.get_default_cache`.
-    jobs:
-        Shard the compiled-plan walk over this many worker processes
-        (:mod:`repro.engine.parallel`); the per-target arrays and
-        ``decision_nodes`` are bit-identical for every value.  ``None``
-        uses the process default (sequential unless
-        :func:`~repro.engine.parallel.set_default_jobs` / ``--jobs`` set
-        one); non-positive means all cores.  Replay policies and the fused
-        pruned walk always run sequentially.
-    result_cache:
-        An :class:`~repro.engine.cache.EngineResultCache` or directory
-        path persisting the per-target cost arrays by configuration +
-        target-set content hash: a repeated run with unchanged policy/
-        hierarchy/distribution/prices skips compile *and* walk.  ``None``
-        falls back to
-        :func:`~repro.engine.cache.get_default_result_cache`; ``False``
-        disables result caching outright, *ignoring* the process default
-        — callers that time the walk use this so an installed cache
-        cannot turn their measurement into a disk load.
+    :func:`_prepare_run` turns a ``(policy, configuration)`` pair into
+    either a terminal cached result, a compiled plan awaiting a walk, or a
+    sequential fallback closure — so :func:`simulate_all_targets` and the
+    multi-policy :func:`simulate_policies` share one resolution path and
+    only differ in how they *execute* the plan walks (inline, per-call
+    process pool, or overlapped on a persistent
+    :class:`~repro.engine.pool.EvaluationPool`).
     """
-    from repro.engine.cache import (
-        as_result_cache,
-        get_default_result_cache,
-        result_key,
-    )
-    from repro.engine.parallel import resolve_jobs, run_parallel_walk
+
+    policy_label: str
+    hierarchy: Hierarchy
+    model: QueryCostModel
+    target_ix: np.ndarray
+    budget: int
+    check: bool
+    queries: np.ndarray
+    prices: np.ndarray
+    rcache: object | None
+    rkey: str
+    #: Terminal: the result cache already held the answer.
+    cached: EngineResult | None = None
+    #: Plan-walk mode: walk these arrays (inline, jobs pool, or eval pool).
+    plan: CompiledPlan | None = None
+    #: Sequential fallback (fused pruned walk / transcript replay); returns
+    #: ``(method, decision_nodes)`` and scatters into queries/prices.
+    fallback: object | None = None
+
+
+def _prepare_run(
+    policy: Policy | CompiledPlan,
+    hierarchy: Hierarchy | None,
+    distribution: TargetDistribution | None,
+    cost_model: QueryCostModel | None,
+    *,
+    targets: Iterable[Hashable] | None,
+    check_correctness: bool,
+    max_queries: int | None,
+    plan_cache,
+    result_cache,
+) -> _PreparedRun:
+    """Resolve configuration, probe caches, compile; never walks a plan."""
+    from repro.engine.cache import resolve_result_cache, result_key
 
     plan: CompiledPlan | None = None
     if isinstance(policy, CompiledPlan):
@@ -276,12 +256,7 @@ def simulate_all_targets(
                     _ckey[0] = ""
         return _ckey[0]
 
-    if result_cache is False:
-        rcache = None
-    else:
-        rcache = as_result_cache(result_cache)
-        if rcache is None:
-            rcache = get_default_result_cache()
+    rcache = resolve_result_cache(result_cache)
     rkey = ""
     if rcache is not None and config_key():
         rkey = result_key(
@@ -291,10 +266,35 @@ def simulate_all_targets(
             rkey, hierarchy, require_checked=check_correctness
         )
         if cached is not None:
-            return cached
+            return _PreparedRun(
+                policy_label=cached.policy,
+                hierarchy=hierarchy,
+                model=model,
+                target_ix=target_ix,
+                budget=budget,
+                check=check_correctness,
+                queries=cached.queries,
+                prices=cached.prices,
+                rcache=rcache,
+                rkey=rkey,
+                cached=cached,
+            )
 
     queries = np.full(n, -1, dtype=np.int64)
     prices = np.full(n, np.nan, dtype=float)
+
+    prepared = _PreparedRun(
+        policy_label="",
+        hierarchy=hierarchy,
+        model=model,
+        target_ix=target_ix,
+        budget=budget,
+        check=check_correctness,
+        queries=queries,
+        prices=prices,
+        rcache=rcache,
+        rkey=rkey,
+    )
 
     if plan is None and is_vector_policy(policy):
         cache = as_plan_cache(plan_cache) or get_default_cache()
@@ -314,22 +314,16 @@ def simulate_all_targets(
                 plan is None
                 and target_ix.size * max(hierarchy.height, 1) < n
             ):
-                nodes = _pruned_walk(
-                    policy, hierarchy, distribution, model, target_ix,
-                    queries, prices, budget, check_correctness,
-                )
-                result = EngineResult(
-                    policy=policy.name,
-                    hierarchy=hierarchy,
-                    target_ix=target_ix,
-                    queries=queries,
-                    prices=prices,
-                    method="vector",
-                    decision_nodes=nodes,
-                )
-                if rcache is not None and rkey:
-                    rcache.put(result, rkey, checked=check_correctness)
-                return result
+                prepared.policy_label = policy.name
+
+                def pruned() -> tuple[str, int]:
+                    return "vector", _pruned_walk(
+                        policy, hierarchy, distribution, model, target_ix,
+                        queries, prices, budget, check_correctness,
+                    )
+
+                prepared.fallback = pruned
+                return prepared
         if plan is None:
             if cache is not None:
                 plan = cache.get_or_compile(
@@ -351,36 +345,234 @@ def simulate_all_targets(
                 )
 
     if plan is not None:
-        method = "plan"
-        workers = resolve_jobs(jobs)
-        if workers > 1 and target_ix.size > 1:
-            nodes = run_parallel_walk(
-                plan, hierarchy, model, target_ix,
-                queries, prices, budget, check_correctness, workers,
-            )
-        else:
-            nodes = _plan_walk(
-                plan, hierarchy, model, target_ix,
-                queries, prices, budget, check_correctness,
-            )
-    else:
-        method = "replay"
-        nodes = _replay_targets(
+        prepared.policy_label = plan.policy_name
+        prepared.plan = plan
+        return prepared
+
+    prepared.policy_label = policy.name
+
+    def replay() -> tuple[str, int]:
+        return "replay", _replay_targets(
             policy, hierarchy, distribution, model, target_ix,
             queries, prices, budget, check_correctness,
         )
+
+    prepared.fallback = replay
+    return prepared
+
+
+def _resolve_active_pool(pool, jobs: int | None):
+    """The one precedence rule for pooled execution.
+
+    An explicit ``jobs=`` argument opts the call out of the *ambient*
+    default pool (so ``jobs=1`` still means "walk sequentially, here" even
+    when ``REPRO_POOL_WORKERS`` is exported); an explicit ``pool`` always
+    wins, and ``pool=False`` disables pooling outright.  Shared by the
+    single-policy and batch entry points so they can never resolve
+    different execution modes for the same arguments.
+    """
+    from repro.engine.pool import resolve_pool
+
+    if pool is None and jobs is not None:
+        return None
+    return resolve_pool(pool)
+
+
+def _execute_plan_walk(prep: _PreparedRun, jobs: int | None, pool) -> int:
+    """Walk a prepared plan: persistent pool > per-call jobs pool > inline."""
+    from repro.engine.parallel import resolve_jobs, run_parallel_walk
+
+    active_pool = _resolve_active_pool(pool, jobs)
+    if active_pool is not None and prep.target_ix.size > 1:
+        return active_pool.run_walk(
+            prep.plan, prep.hierarchy, prep.model, prep.target_ix,
+            prep.queries, prep.prices, prep.budget, prep.check,
+        )
+    workers = resolve_jobs(jobs)
+    if workers > 1 and prep.target_ix.size > 1:
+        return run_parallel_walk(
+            prep.plan, prep.hierarchy, prep.model, prep.target_ix,
+            prep.queries, prep.prices, prep.budget, prep.check, workers,
+        )
+    return _plan_walk(
+        prep.plan, prep.hierarchy, prep.model, prep.target_ix,
+        prep.queries, prep.prices, prep.budget, prep.check,
+    )
+
+
+def _finalize(prep: _PreparedRun, method: str, nodes: int) -> EngineResult:
     result = EngineResult(
-        policy=plan.policy_name if plan is not None else policy.name,
-        hierarchy=hierarchy,
-        target_ix=target_ix,
-        queries=queries,
-        prices=prices,
+        policy=prep.policy_label,
+        hierarchy=prep.hierarchy,
+        target_ix=prep.target_ix,
+        queries=prep.queries,
+        prices=prep.prices,
         method=method,
         decision_nodes=nodes,
     )
-    if rcache is not None and rkey:
-        rcache.put(result, rkey, checked=check_correctness)
+    if prep.rcache is not None and prep.rkey:
+        prep.rcache.put(result, prep.rkey, checked=prep.check)
     return result
+
+
+def simulate_all_targets(
+    policy: Policy | CompiledPlan,
+    hierarchy: Hierarchy | None = None,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    targets: Iterable[Hashable] | None = None,
+    check_correctness: bool = True,
+    max_queries: int | None = None,
+    plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
+    pool=None,
+) -> EngineResult:
+    """Simulate a policy or compiled plan against every target in one pass.
+
+    Produces, for each target, exactly the query count and total price that
+    ``run_search`` with an :class:`ExactOracle` would produce — the parity
+    tests assert equality, not approximation.
+
+    Parameters
+    ----------
+    policy:
+        A policy (compiled on the fly when it supports exact undo) or an
+        already-compiled :class:`~repro.plan.CompiledPlan`.
+    hierarchy:
+        Required for policies; optional for plans (defaults to the plan's
+        own hierarchy, and must have the same node indexing if given).
+    targets:
+        Restrict the evaluation to these labels (duplicates collapse; the
+        walk prunes branches no requested target can reach, and — unless a
+        full plan is already compiled or cached on disk — a small sample
+        skips plan compilation entirely in favour of a fused pruned walk).
+        Default: all ``n`` nodes.
+    check_correctness:
+        Verify the policy identifies every simulated target.
+    max_queries:
+        Per-search budget, defaulting to ``2 n + 10`` as in ``run_search``.
+    plan_cache:
+        A :class:`~repro.plan.PlanCache` or directory path; compiled plans
+        are loaded from / stored into it by configuration content hash.
+        ``None`` falls back to :func:`repro.plan.get_default_cache`.
+    jobs:
+        Shard the compiled-plan walk over this many worker processes
+        (:mod:`repro.engine.parallel`); the per-target arrays and
+        ``decision_nodes`` are bit-identical for every value.  ``None``
+        uses the process default (sequential unless
+        :func:`~repro.engine.parallel.set_default_jobs` / ``--jobs`` set
+        one); non-positive means all cores.  Replay policies and the fused
+        pruned walk always run sequentially.
+    result_cache:
+        An :class:`~repro.engine.cache.EngineResultCache` or directory
+        path persisting the per-target cost arrays by configuration +
+        target-set content hash: a repeated run with unchanged policy/
+        hierarchy/distribution/prices skips compile *and* walk.  ``None``
+        falls back to
+        :func:`~repro.engine.cache.get_default_result_cache`; ``False``
+        disables result caching outright, *ignoring* the process default
+        — callers that time the walk use this so an installed cache
+        cannot turn their measurement into a disk load.
+    pool:
+        A persistent :class:`~repro.engine.pool.EvaluationPool`: the plan
+        walk is sharded over its long-lived workers (plans travel through
+        shared memory once, not per call), with the same bit-identical
+        output as every other execution mode.  ``None`` falls back to
+        :func:`~repro.engine.pool.get_default_pool` (the CLI's ``--pool``
+        / ``REPRO_POOL_WORKERS``) unless an explicit ``jobs`` was given;
+        ``False`` disables pooling outright, like ``result_cache=False``.
+    """
+    prep = _prepare_run(
+        policy, hierarchy, distribution, cost_model,
+        targets=targets, check_correctness=check_correctness,
+        max_queries=max_queries, plan_cache=plan_cache,
+        result_cache=result_cache,
+    )
+    if prep.cached is not None:
+        return prep.cached
+    if prep.plan is not None:
+        return _finalize(prep, "plan", _execute_plan_walk(prep, jobs, pool))
+    method, nodes = prep.fallback()
+    return _finalize(prep, method, nodes)
+
+
+def simulate_policies(
+    policies: Iterable[Policy | CompiledPlan],
+    hierarchy: Hierarchy | None = None,
+    distribution: TargetDistribution | None = None,
+    cost_model: QueryCostModel | None = None,
+    *,
+    targets: Iterable[Hashable] | None = None,
+    check_correctness: bool = True,
+    max_queries: int | None = None,
+    plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
+    pool=None,
+) -> list[EngineResult]:
+    """Simulate several policies under one configuration, overlapping walks.
+
+    Semantically ``[simulate_all_targets(p, ...) for p in policies]`` —
+    the per-policy results are bit-identical to the one-policy path — but
+    with a persistent pool every plan-walkable policy's shard frames are
+    submitted into the pool's one task queue *before* any results are
+    collected (:meth:`~repro.engine.pool.EvaluationPool.run_batch`), so k
+    policies' walks finish in one overlapped makespan instead of k
+    sequential sharded walks.  Policies that cannot take the plan walk
+    (transcript replay, the fused pruned sampled walk) and result-cache
+    hits run exactly as they would standalone.
+    """
+    if targets is not None:
+        targets = list(targets)
+    preps = [
+        _prepare_run(
+            policy, hierarchy, distribution, cost_model,
+            targets=targets, check_correctness=check_correctness,
+            max_queries=max_queries, plan_cache=plan_cache,
+            result_cache=result_cache,
+        )
+        for policy in policies
+    ]
+
+    active_pool = _resolve_active_pool(pool, jobs)
+    overlapped: dict[int, int] = {}
+    if active_pool is not None:
+        batch = [
+            i
+            for i, prep in enumerate(preps)
+            if prep.cached is None
+            and prep.plan is not None
+            and prep.target_ix.size > 1
+        ]
+        if batch:
+            totals = active_pool.run_batch(
+                [
+                    (
+                        preps[i].plan, preps[i].hierarchy, preps[i].model,
+                        preps[i].target_ix, preps[i].queries, preps[i].prices,
+                        preps[i].budget, preps[i].check,
+                    )
+                    for i in batch
+                ]
+            )
+            overlapped = dict(zip(batch, totals))
+
+    results: list[EngineResult] = []
+    for i, prep in enumerate(preps):
+        if prep.cached is not None:
+            results.append(prep.cached)
+        elif i in overlapped:
+            results.append(_finalize(prep, "plan", overlapped[i]))
+        elif prep.plan is not None:
+            results.append(
+                _finalize(prep, "plan", _execute_plan_walk(prep, jobs, pool))
+            )
+        else:
+            method, nodes = prep.fallback()
+            results.append(_finalize(prep, method, nodes))
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -76,6 +76,59 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def expand_frontier(
+    plan: CompiledPlan,
+    hierarchy,
+    model,
+    target_ix: np.ndarray,
+    queries: np.ndarray,
+    prices: np.ndarray,
+    budget: int,
+    check: bool,
+    want: int,
+):
+    """Expand the plan top-down until at least ``want`` frontier frames exist.
+
+    Pops the largest-subset frame, settles leaves in the parent (writing
+    straight into ``queries``/``prices``), pushes children.  Returns
+    ``(visited, frames, split)``: decision nodes the parent settled, the
+    remaining ``(node, subset, depth, price)`` frames (empty when the whole
+    walk fit in the parent), and the splitter kernel chosen for the *full*
+    target set — callers must force its ``kind`` on every shard so the walk
+    stays shard-count-invariant.  Shared by the per-call process pool below
+    and the persistent :class:`~repro.engine.pool.EvaluationPool`; because
+    the frames partition the remaining work into disjoint plan regions, any
+    way of dealing them to workers reproduces the sequential walk bit for
+    bit.
+    """
+    from repro.engine.driver import _make_stepper
+    from repro.engine.vector import make_splitter
+
+    split = make_splitter(hierarchy, len(target_ix))
+    step = _make_stepper(
+        plan, hierarchy, model, queries, prices, budget, check, split
+    )
+    visited = 0
+
+    counter = itertools.count()
+    heap: list[tuple[int, int, int, np.ndarray, int, float]] = [
+        (-len(target_ix), next(counter), ROOT, target_ix, 0, 0.0)
+    ]
+
+    def emit(child: int, sub: np.ndarray, depth: int, price: float) -> None:
+        heapq.heappush(heap, (-len(sub), next(counter), child, sub, depth, price))
+
+    while heap and len(heap) < want:
+        _, _, node, subset, depth, price = heapq.heappop(heap)
+        visited += step(node, subset, depth, price, emit)
+
+    frames = [
+        (node, subset, depth, price)
+        for _, _, node, subset, depth, price in heap
+    ]
+    return visited, frames, split
+
+
 def run_parallel_walk(
     plan: CompiledPlan,
     hierarchy,
@@ -95,34 +148,10 @@ def run_parallel_walk(
     (:func:`~repro.engine.driver._make_stepper`), so the output is
     bit-identical for every shard count, including ``decision_nodes``.
     """
-    from repro.engine.driver import _make_stepper
-    from repro.engine.vector import make_splitter
-
-    split = make_splitter(hierarchy, len(target_ix))
-    step = _make_stepper(
-        plan, hierarchy, model, queries, prices, budget, check, split
+    visited, frames, split = expand_frontier(
+        plan, hierarchy, model, target_ix, queries, prices, budget, check,
+        jobs * _FRONTIER_FACTOR,
     )
-    visited = 0
-
-    # Frontier expansion: pop the largest-subset frame, settle leaves in
-    # the parent, push children, until there are enough frames to deal out.
-    counter = itertools.count()
-    heap: list[tuple[int, int, int, np.ndarray, int, float]] = [
-        (-len(target_ix), next(counter), ROOT, target_ix, 0, 0.0)
-    ]
-
-    def emit(child: int, sub: np.ndarray, depth: int, price: float) -> None:
-        heapq.heappush(heap, (-len(sub), next(counter), child, sub, depth, price))
-
-    want = jobs * _FRONTIER_FACTOR
-    while heap and len(heap) < want:
-        _, _, node, subset, depth, price = heapq.heappop(heap)
-        visited += step(node, subset, depth, price, emit)
-
-    frames = [
-        (node, subset, depth, price)
-        for _, _, node, subset, depth, price in heap
-    ]
     if not frames:
         return visited
 

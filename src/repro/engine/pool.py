@@ -1,0 +1,860 @@
+"""Persistent shared-memory evaluation pool: long-lived workers, zero re-fork.
+
+The per-call process pool of :mod:`repro.engine.parallel` made one big walk
+fast, but every invocation still pays ~20 ms to fork fresh workers and ship
+the plan — overhead that dominates repeated small-n evaluations and
+serializes :func:`~repro.evaluation.comparison.compare_policies` across
+policies.  :class:`EvaluationPool` removes both costs:
+
+* **Long-lived workers.**  The pool owns worker processes that survive
+  across calls, fed through one shared task queue.  A walk is submitted as
+  a handful of frame buckets (the same disjoint plan regions the per-call
+  pool deals, via :func:`repro.engine.parallel.expand_frontier`), so the
+  per-call cost is a few queue round-trips instead of a pool spin-up.
+
+* **Shared-memory plans.**  :meth:`publish` copies a
+  :class:`~repro.plan.CompiledPlan`'s flat arrays — and the hierarchy's
+  packed reachability block, when built — into one
+  :mod:`multiprocessing.shared_memory` segment keyed by the plan's
+  ``config_key``.  Workers attach lazily by key and rebuild the plan as
+  zero-copy views over the mapped buffer (the plan constructor adopts
+  contiguous int64 arrays without copying), so a plan crosses the process
+  boundary once per worker no matter how many walks it serves, and the
+  ``n^2 / 8``-byte reachability block is mapped, not duplicated.
+
+* **Refcounted registry.**  Published segments live in a registry capped at
+  ``max_plans``; publishing past the cap evicts the least-recently-used
+  segment that is neither pinned (:meth:`publish` with ``pin=True`` /
+  :meth:`release`) nor serving an active walk, and unlinks it.  When every
+  entry is held, :class:`~repro.exceptions.PoolError` is raised instead of
+  silently unmapping a plan under a running worker.
+
+* **Cross-policy overlap.**  :meth:`run_batch` submits *all* requests'
+  frame buckets into the one queue before collecting, so the walks of
+  different policies interleave across workers —
+  ``compare_policies(..., pool=...)`` overlaps k policies' walks instead of
+  running k sharded walks back to back.  Results stay bit-identical to the
+  sequential walk: frames partition the plan into disjoint regions, so any
+  dealing order reproduces the same per-target arrays and
+  ``decision_nodes``.
+
+* **Failure containment.**  Worker exceptions are shipped back and
+  re-raised in the caller (domain errors like
+  :class:`~repro.exceptions.BudgetExceededError` keep their type); a
+  worker that dies mid-walk is detected by liveness polling, respawned,
+  and the unfinished buckets are resubmitted (walks are pure, duplicate
+  results are dropped by task id) — after :data:`_MAX_RESPAWNS` failed
+  rounds the call raises :class:`~repro.exceptions.PoolError` instead of
+  hanging.  Corrupt segments surface as :class:`PoolError` without killing
+  the pool.
+
+The pool works under every start method: ``fork`` where available
+(workers inherit the code base for free), otherwise ``spawn`` — workers
+receive only the two queues and import everything else, and plans still
+travel through shared memory, never the spawn pickle stream
+(``REPRO_POOL_START_METHOD`` forces a method, which the spawn CI leg uses
+on Linux).  Teardown is deterministic: pools are context managers, and an
+``atexit`` hook closes anything left open so no ``/dev/shm`` segment
+outlives the process (the test suite asserts this).
+
+A process-wide default pool is installed with :func:`set_default_pool`
+(the CLI's ``--pool`` flag) or sized by the ``REPRO_POOL_WORKERS``
+environment variable; the engine consults :func:`get_default_pool` when no
+explicit ``pool`` is passed, and an explicit ``jobs=`` argument opts a
+call out of the ambient default.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+import uuid
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import PoolError, ReproError
+
+#: Segment-name prefix; includes the owning pid so a leak check (and a
+#: human inspecting ``/dev/shm``) can attribute segments to a process.
+#: Deliberately terse: macOS caps shm names at 31 characters including
+#: the leading slash, so ``rp_<pid>_<8 hex>`` must fit.
+def _segment_prefix() -> str:
+    return f"rp_{os.getpid()}_"
+
+
+#: On-segment format tag checked by workers on attach.
+_FORMAT = "repro-pool-segment-v1"
+
+#: Block alignment inside a segment (int64 views need 8; 16 is cache-line
+#: friendly and costs nothing).
+_ALIGN = 16
+
+#: Plans a single worker keeps attached before closing the oldest mapping.
+_ATTACH_LIMIT = 4
+
+#: Result-queue poll interval; between polls the parent checks worker
+#: liveness so a dead worker is noticed within one interval.
+_POLL_INTERVAL = 0.1
+
+#: Respawn-and-resubmit rounds per collect before giving up.
+_MAX_RESPAWNS = 2
+
+#: Seconds a worker gets to exit voluntarily at close before termination.
+_JOIN_TIMEOUT = 5.0
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+# ----------------------------------------------------------------------
+# Segment layout: [8B meta length][pickled meta][aligned blocks]
+#
+# Block offsets in the meta are relative to the payload base
+# (align(8 + meta length)), so the meta can be pickled before the final
+# layout is known.
+# ----------------------------------------------------------------------
+def _pack_segment(plan, hierarchy, key: str, name: str) -> shared_memory.SharedMemory:
+    """Create a shared segment holding the plan arrays (+ hierarchy, bits)."""
+    arrays = plan.payload_arrays()
+    hier_blob = pickle.dumps(hierarchy, protocol=pickle.HIGHEST_PROTOCOL)
+    bits = hierarchy._reach_bits  # publish the block only when already built
+
+    offsets: dict[str, tuple[int, int]] = {}
+    cursor = 0
+    for block, arr in arrays.items():
+        offsets[block] = (cursor, int(arr.size))
+        cursor = _align(cursor + arr.nbytes)
+    hier_off = cursor
+    cursor = _align(cursor + len(hier_blob))
+    bits_meta = None
+    if bits is not None:
+        bits_meta = (cursor, int(bits.shape[0]), int(bits.shape[1]))
+        cursor = _align(cursor + bits.nbytes)
+
+    meta = {
+        "format": _FORMAT,
+        "key": key,
+        "policy_name": plan.policy_name,
+        "plan_key": plan.config_key,
+        "arrays": offsets,
+        "hierarchy": (hier_off, len(hier_blob)),
+        "bits": bits_meta,
+    }
+    meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    base = _align(8 + len(meta_blob))
+    try:
+        shm = shared_memory.SharedMemory(
+            create=True, size=base + cursor, name=name
+        )
+    except OSError as exc:
+        raise PoolError(
+            f"cannot create shared plan segment {name!r} "
+            f"({base + cursor} bytes): {exc}"
+        ) from exc
+    try:
+        shm.buf[:8] = len(meta_blob).to_bytes(8, "little")
+        shm.buf[8 : 8 + len(meta_blob)] = meta_blob
+        for block, arr in arrays.items():
+            off, count = offsets[block]
+            view = np.frombuffer(
+                shm.buf, dtype=np.int64, count=count, offset=base + off
+            )
+            view[:] = arr
+            del view
+        shm.buf[base + hier_off : base + hier_off + len(hier_blob)] = hier_blob
+        if bits is not None:
+            off, rows, row_bytes = bits_meta
+            view = np.frombuffer(
+                shm.buf, dtype=np.uint8, count=rows * row_bytes,
+                offset=base + off,
+            ).reshape(rows, row_bytes)
+            view[:] = bits
+            del view
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    return shm
+
+
+def _attach_segment(seg_name: str, key: str):
+    """Worker side: map a published segment into (plan, hierarchy, shm).
+
+    The plan arrays and the reachability block are zero-copy views over the
+    mapped buffer; only the (cache-free) hierarchy pickle is materialised
+    per worker.  Raises :class:`PoolError` on any torn or foreign content —
+    the error travels back to the caller, the worker survives.
+    """
+    from repro.plan import CompiledPlan
+
+    # Note on the resource tracker: until 3.13 *attaching* a segment
+    # registers it too.  Parent and workers share one tracker process
+    # (its fd is inherited under fork and spawn alike) whose cache is a
+    # set, so the duplicate registrations are idempotent and the parent's
+    # eventual ``unlink()`` unregisters the name exactly once — workers
+    # must NOT unregister, or they would erase the parent's registration.
+    try:
+        shm = shared_memory.SharedMemory(name=seg_name)
+    except (FileNotFoundError, OSError) as exc:
+        raise PoolError(
+            f"shared plan segment {seg_name!r} is gone (evicted or never "
+            f"published): {exc}"
+        ) from exc
+    try:
+        meta_len = int.from_bytes(bytes(shm.buf[:8]), "little")
+        if not 0 < meta_len <= shm.size - 8:
+            raise PoolError(
+                f"shared segment {seg_name!r} has a torn header "
+                f"(meta length {meta_len}, segment {shm.size} bytes)"
+            )
+        meta = pickle.loads(bytes(shm.buf[8 : 8 + meta_len]))
+        if not isinstance(meta, dict) or meta.get("format") != _FORMAT:
+            raise PoolError(
+                f"shared segment {seg_name!r} is not a pool plan segment"
+            )
+        if meta.get("key") != key:
+            raise PoolError(
+                f"shared segment {seg_name!r} carries key "
+                f"{str(meta.get('key'))[:12]!r}..., expected {key[:12]!r}..."
+            )
+        base = _align(8 + meta_len)
+        hier_off, hier_len = meta["hierarchy"]
+        hierarchy = pickle.loads(
+            bytes(shm.buf[base + hier_off : base + hier_off + hier_len])
+        )
+        views = {}
+        for block in ("query", "yes", "no", "target"):
+            off, count = meta["arrays"][block]
+            views[block] = np.frombuffer(
+                shm.buf, dtype=np.int64, count=count, offset=base + off
+            )
+        if meta["bits"] is not None:
+            off, rows, row_bytes = meta["bits"]
+            bits = np.frombuffer(
+                shm.buf, dtype=np.uint8, count=rows * row_bytes,
+                offset=base + off,
+            ).reshape(rows, row_bytes)
+            hierarchy.adopt_reachability_bits(bits)
+        plan = CompiledPlan(
+            hierarchy,
+            views["query"],
+            views["yes"],
+            views["no"],
+            views["target"],
+            policy_name=meta["policy_name"],
+            config_key=meta["plan_key"],
+        )
+    except ReproError:
+        shm.close()
+        raise
+    except BaseException as exc:
+        shm.close()
+        raise PoolError(
+            f"corrupt shared plan segment {seg_name!r}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    return plan, hierarchy, shm
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_attach(attached: dict, order: list, key: str, seg_name: str):
+    """Per-worker attach cache, keyed by segment name (unique per publish).
+
+    Bounded LRU: a republished key gets a new segment name, so stale
+    mappings age out naturally; closing an evicted mapping returns its
+    pages without touching the parent's registry.
+    """
+    entry = attached.get(seg_name)
+    if entry is not None:
+        order.remove(seg_name)
+        order.append(seg_name)
+        return entry[0], entry[1]
+    plan, hierarchy, shm = _attach_segment(seg_name, key)
+    attached[seg_name] = (plan, hierarchy, shm)
+    order.append(seg_name)
+    while len(order) > _ATTACH_LIMIT:
+        old_plan, old_hier, old_shm = attached.pop(order.pop(0))
+        del old_plan, old_hier
+        try:
+            old_shm.close()
+        except BufferError:  # a view escaped; leak the handle, not the pool
+            pass
+    return plan, hierarchy
+
+
+def _worker_main(tasks, results) -> None:
+    """Long-lived worker loop: attach plans by key, walk frame buckets.
+
+    Module-level so the ``spawn`` start method can import it; receives only
+    the two queues — everything else arrives via shared memory or inside
+    task messages.
+    """
+    from repro.engine.driver import _plan_walk
+    from repro.engine.vector import make_splitter
+
+    attached: dict[str, tuple] = {}
+    order: list[str] = []
+    try:
+        _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter)
+    finally:
+        # Detach deterministically: drop the plan/hierarchy views *before*
+        # closing each mapping, so interpreter-exit GC never tries to close
+        # a buffer that still has exported pointers (a noisy BufferError).
+        while order:
+            plan, hierarchy, shm = attached.pop(order.pop())
+            del plan, hierarchy
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
+    while True:
+        try:
+            msg = tasks.get()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        kind, task_id = msg[0], msg[1]
+        try:
+            if kind == "walk":
+                _, _, key, seg_name, frames, model, budget, check, split_kind = msg
+                plan, hierarchy = _worker_attach(attached, order, key, seg_name)
+                evaluated = np.concatenate(
+                    [subset for _, subset, _, _ in frames]
+                )
+                queries = np.full(hierarchy.n, -1, dtype=np.int64)
+                prices = np.full(hierarchy.n, np.nan, dtype=float)
+                split = make_splitter(hierarchy, len(evaluated), kind=split_kind)
+                visited = _plan_walk(
+                    plan, hierarchy, model, evaluated, queries, prices,
+                    budget, check, split=split, frames=list(frames),
+                )
+                results.put(
+                    (
+                        task_id,
+                        "ok",
+                        (evaluated, queries[evaluated], prices[evaluated], visited),
+                    )
+                )
+            elif kind == "sleep":
+                # Failure-injection aid for the test suite: occupies this
+                # worker so tests can kill it mid-task deterministically.
+                time.sleep(float(msg[2]))
+                results.put((task_id, "ok", None))
+            else:
+                raise PoolError(f"unknown pool task kind {kind!r}")
+        except BaseException as exc:
+            try:
+                payload: object = pickle.dumps(exc)
+            except Exception:
+                payload = f"{type(exc).__name__}: {exc}"
+            try:
+                results.put((task_id, "error", payload))
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class _Segment:
+    """Registry entry: one published plan and its lifecycle counters."""
+
+    __slots__ = ("key", "shm", "pins", "active", "stamp", "anonymous")
+
+    def __init__(self, key: str, shm, stamp: int, anonymous: bool) -> None:
+        self.key = key
+        self.shm = shm
+        self.pins = 0     # explicit publish(pin=True) holds
+        self.active = 0   # walks currently reading the segment
+        self.stamp = stamp  # LRU clock
+        self.anonymous = anonymous  # unkeyed plan: evict when the walk ends
+
+
+class EvaluationPool:
+    """A persistent pool of evaluation workers sharing plans via shm.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to keep alive.  ``None`` or non-positive means all
+        cores.  Workers start lazily on the first walk.
+    max_plans:
+        Registry capacity: published segments beyond it evict the
+        least-recently-used unpinned, inactive entry (and unlink its
+        memory); when every entry is held, :class:`PoolError` is raised.
+    start_method:
+        ``multiprocessing`` start method for the workers.  ``None`` reads
+        ``REPRO_POOL_START_METHOD``, then prefers ``fork`` where available
+        (the no-fork fallback path is exercised by passing ``"spawn"``).
+
+    Use as a context manager, or rely on the ``atexit`` hook — either way
+    every worker is joined and every segment unlinked; no shared memory
+    outlives the process.  One pool serves one thread at a time (the
+    experiment drivers are single-threaded); it is not a thread-safe
+    object.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        max_plans: int = 8,
+        start_method: str | None = None,
+    ) -> None:
+        if workers is None or int(workers) <= 0:
+            workers = max(1, os.cpu_count() or 1)
+        self.workers = int(workers)
+        if max_plans < 1:
+            raise PoolError(f"max_plans must be >= 1, got {max_plans}")
+        self.max_plans = int(max_plans)
+        if start_method is None:
+            start_method = os.environ.get("REPRO_POOL_START_METHOD") or None
+        if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = self._ctx.get_start_method()
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._procs: list = []
+        self._registry: dict[str, _Segment] = {}
+        self._task_ids = itertools.count()
+        self._stamps = itertools.count()
+        self._closed = False
+        #: Walks served, workers respawned after a death, segments evicted.
+        self.walks = 0
+        self.respawns = 0
+        self.evictions = 0
+        _LIVE_POOLS.add(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise PoolError("the evaluation pool is closed")
+        while len(self._procs) < self.workers:
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        # Start the parent's resource tracker *before* the worker exists, so
+        # the worker inherits its fd (fork and spawn both pass it down) and
+        # worker-side attach registrations land in the parent's tracker —
+        # idempotent against the parent's own registration, unregistered
+        # exactly once by the parent's unlink.  Without this, a worker
+        # forked before the first publish would lazily start a *private*
+        # tracker that "cleans up" (unlinks!) still-published segments when
+        # the worker exits.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._tasks, self._results),
+            daemon=True,
+            name=f"repro-pool-worker-{len(self._procs)}",
+        )
+        proc.start()
+        self._procs.append(proc)
+
+    def _restart(self) -> None:
+        """Nuke-and-repave after a worker death: fresh queues, fresh workers.
+
+        A worker killed while blocked in ``Queue.get()`` dies *holding the
+        queue's shared read lock*, poisoning it for every survivor — so
+        merely respawning the dead process can still hang the pool.  The
+        only robust recovery is to terminate the survivors (they may be
+        stuck on the poisoned lock already), rebuild both queues, and start
+        a full set of fresh workers; the caller then resubmits every
+        unfinished bucket.  In-flight results are lost with the old queue,
+        which is safe: their task ids are still pending and the rerun
+        produces identical data (walks are pure).
+        """
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        self._procs = []
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self.respawns += 1
+        self._ensure_started()
+
+    def close(self) -> None:
+        """Stop every worker and unlink every published segment.
+
+        Idempotent; also runs from the ``atexit`` hook for pools left open.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                try:
+                    self._tasks.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        self._procs = []
+        for entry in self._registry.values():
+            self._unlink(entry)
+        self._registry.clear()
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        _LIVE_POOLS.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._procs)} live"
+        return (
+            f"EvaluationPool(workers={self.workers}, {self.start_method}, "
+            f"{len(self._registry)} plan(s) published, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Plan registry
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _unlink(entry: _Segment) -> None:
+        try:
+            entry.shm.close()
+        except BufferError:
+            pass
+        try:
+            entry.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _evict_one(self) -> None:
+        victims = [
+            e
+            for e in self._registry.values()
+            if e.pins == 0 and e.active == 0
+        ]
+        if not victims:
+            raise PoolError(
+                f"plan registry exhausted: all {len(self._registry)} "
+                f"published plan(s) are pinned or serving active walks "
+                f"(max_plans={self.max_plans}); release() one or raise "
+                "max_plans"
+            )
+        victim = min(victims, key=lambda e: e.stamp)
+        del self._registry[victim.key]
+        self._unlink(victim)
+        self.evictions += 1
+
+    def publish(self, plan, hierarchy=None, *, pin: bool = False) -> str:
+        """Publish a plan's arrays into shared memory; returns its key.
+
+        Idempotent per ``config_key`` — republishing an already-resident
+        plan only refreshes its LRU stamp.  ``hierarchy`` defaults to the
+        plan's own; pass the caller's (fingerprint-equal) hierarchy to ship
+        an already-built reachability block to the workers.  ``pin=True``
+        protects the segment from LRU eviction until :meth:`release`.
+        Plans without a content key (``plan_cacheable`` false policies)
+        cannot be pinned — they have no stable identity to release later.
+        """
+        if self._closed:
+            raise PoolError("the evaluation pool is closed")
+        if hierarchy is None:
+            hierarchy = plan.hierarchy
+        key = plan.config_key
+        if not key:
+            if pin:
+                raise PoolError(
+                    f"plan of {plan.policy_name!r} has no content key; it "
+                    "cannot be pinned in the pool registry"
+                )
+            key = f"anon:{uuid.uuid4().hex}"
+        entry = self._registry.get(key)
+        if entry is None:
+            while len(self._registry) >= self.max_plans:
+                self._evict_one()
+            name = _segment_prefix() + uuid.uuid4().hex[:8]
+            shm = _pack_segment(plan, hierarchy, key, name)
+            entry = _Segment(
+                key, shm, next(self._stamps), anonymous=key.startswith("anon:")
+            )
+            self._registry[key] = entry
+        else:
+            entry.stamp = next(self._stamps)
+        if pin:
+            entry.pins += 1
+        return key
+
+    def release(self, key: str) -> None:
+        """Drop one :meth:`publish(pin=True) <publish>` hold on ``key``."""
+        entry = self._registry.get(key)
+        if entry is None or entry.pins <= 0:
+            raise PoolError(f"plan {key[:12]!r}... is not pinned in this pool")
+        entry.pins -= 1
+
+    @property
+    def published_keys(self) -> tuple[str, ...]:
+        """Keys currently resident in the registry (oldest first)."""
+        return tuple(
+            e.key for e in sorted(self._registry.values(), key=lambda e: e.stamp)
+        )
+
+    def _acquire_for_walk(self, plan, hierarchy) -> tuple[str, str]:
+        key = self.publish(plan, hierarchy)
+        entry = self._registry[key]
+        entry.active += 1
+        entry.stamp = next(self._stamps)
+        return key, entry.shm.name
+
+    def _release_after_walk(self, key: str) -> None:
+        entry = self._registry.get(key)
+        if entry is None:
+            return
+        entry.active -= 1
+        if entry.anonymous and entry.active <= 0:
+            del self._registry[key]
+            self._unlink(entry)
+
+    # ------------------------------------------------------------------
+    # Walks
+    # ------------------------------------------------------------------
+    def run_walk(
+        self, plan, hierarchy, model, target_ix, queries, prices, budget, check
+    ) -> int:
+        """One sharded plan walk on the warm pool; returns nodes visited.
+
+        Same contract as :func:`repro.engine.parallel.run_parallel_walk` —
+        per-target arrays and the visited count are bit-identical to the
+        sequential walk — minus the per-call fork/pickle overhead.
+        """
+        return self.run_batch(
+            [(plan, hierarchy, model, target_ix, queries, prices, budget, check)]
+        )[0]
+
+    def run_batch(self, requests) -> list[int]:
+        """Overlap several plan walks; returns visited counts per request.
+
+        Each request is ``(plan, hierarchy, model, target_ix, queries,
+        prices, budget, check)``; results are scattered into the request's
+        own ``queries``/``prices`` arrays.  All requests' frame buckets
+        enter the one task queue up front, so workers drain them in
+        arrival order regardless of which walk they belong to — the
+        overlap that makes multi-policy comparisons finish in one
+        makespan instead of k.
+        """
+        from repro.engine.parallel import (
+            _FRONTIER_FACTOR,
+            _deal_frames,
+            expand_frontier,
+        )
+
+        self._ensure_started()
+        requests = list(requests)
+        totals = [0] * len(requests)
+        pending: dict[int, tuple] = {}
+        handlers: dict[int, object] = {}
+        acquired: list[str] = []
+        try:
+            for r_index, request in enumerate(requests):
+                (
+                    plan, hierarchy, model, target_ix,
+                    queries, prices, budget, check,
+                ) = request
+                visited, frames, split = expand_frontier(
+                    plan, hierarchy, model, target_ix, queries, prices,
+                    budget, check, self.workers * _FRONTIER_FACTOR,
+                )
+                totals[r_index] = visited
+                if not frames:
+                    continue
+                key, seg_name = self._acquire_for_walk(plan, hierarchy)
+                acquired.append(key)
+                split_kind = getattr(split, "kind", None)
+                for bucket in _deal_frames(frames, self.workers):
+                    task_id = next(self._task_ids)
+                    msg = (
+                        "walk", task_id, key, seg_name, bucket,
+                        model, budget, check, split_kind,
+                    )
+                    pending[task_id] = msg
+
+                    def scatter(
+                        payload, queries=queries, prices=prices, r_index=r_index
+                    ):
+                        evaluated, shard_q, shard_p, visited = payload
+                        queries[evaluated] = shard_q
+                        prices[evaluated] = shard_p
+                        totals[r_index] += visited
+
+                    handlers[task_id] = scatter
+                    self._tasks.put(msg)
+            self._collect(pending, handlers)
+            self.walks += len(requests)
+        finally:
+            for key in acquired:
+                self._release_after_walk(key)
+        return totals
+
+    def _collect(self, pending: dict, handlers: dict) -> None:
+        """Drain results for ``pending``; survive worker deaths.
+
+        A result for an unknown task id is a stale duplicate (a resubmitted
+        bucket finished twice, or a previous failed call's leftovers) and
+        is dropped — walks are pure, so duplicates carry identical data.
+        """
+        respawn_rounds = 0
+        while pending:
+            try:
+                task_id, status, payload = self._results.get(
+                    timeout=_POLL_INTERVAL
+                )
+            except queue_mod.Empty:
+                if all(proc.is_alive() for proc in self._procs):
+                    continue
+                respawn_rounds += 1
+                if respawn_rounds > _MAX_RESPAWNS:
+                    raise PoolError(
+                        f"pool workers died {respawn_rounds} times re-running "
+                        f"{len(pending)} unfinished walk bucket(s); giving up"
+                    )
+                # Any death forces a full restart (see _restart: a kill can
+                # poison the shared queue locks); then resubmit every
+                # unfinished bucket — duplicates are dropped by task id.
+                self._restart()
+                for msg in pending.values():
+                    self._tasks.put(msg)
+                continue
+            if task_id not in pending:
+                continue
+            del pending[task_id]
+            if status == "error":
+                raise self._as_exception(payload)
+            handlers[task_id](payload)
+
+    @staticmethod
+    def _as_exception(payload) -> BaseException:
+        if isinstance(payload, bytes):
+            try:
+                exc = pickle.loads(payload)
+            except Exception:
+                return PoolError("pool worker failed with an unpicklable error")
+            if isinstance(exc, BaseException):
+                if isinstance(exc, ReproError):
+                    return exc  # domain errors keep their type (parity)
+                return PoolError(
+                    f"pool worker failed: {type(exc).__name__}: {exc}"
+                )
+        return PoolError(f"pool worker failed: {payload}")
+
+    # ------------------------------------------------------------------
+    # Failure-injection hooks (tests)
+    # ------------------------------------------------------------------
+    def _inject_sleep(self, seconds: float) -> int:
+        """Occupy one worker with a sleep task (no result is awaited)."""
+        self._ensure_started()
+        task_id = next(self._task_ids)
+        self._tasks.put(("sleep", task_id, float(seconds)))
+        return task_id
+
+
+# ----------------------------------------------------------------------
+# Process-wide default pool and teardown
+# ----------------------------------------------------------------------
+_LIVE_POOLS: "weakref.WeakSet[EvaluationPool]" = weakref.WeakSet()
+
+_UNSET = object()
+_default_pool: EvaluationPool | None | object = _UNSET
+
+
+def set_default_pool(pool: EvaluationPool | None) -> None:
+    """Install the process-wide default pool (CLI ``--pool``).
+
+    ``None`` clears the default (without closing a previously installed
+    pool — its owner does that, or the ``atexit`` hook will).
+    """
+    global _default_pool
+    _default_pool = pool
+
+
+def get_default_pool() -> EvaluationPool | None:
+    """The installed default, lazily sized by ``REPRO_POOL_WORKERS``.
+
+    Returns ``None`` when neither :func:`set_default_pool` nor the
+    environment variable configured one — the engine then walks in-process
+    (or through the per-call ``jobs=`` pool).
+    """
+    global _default_pool
+    if _default_pool is _UNSET:
+        workers = os.environ.get("REPRO_POOL_WORKERS")
+        _default_pool = EvaluationPool(int(workers)) if workers else None
+    if (
+        _default_pool is not None
+        and isinstance(_default_pool, EvaluationPool)
+        and _default_pool.closed
+    ):
+        _default_pool = None
+    return _default_pool  # type: ignore[return-value]
+
+
+def resolve_pool(pool) -> EvaluationPool | None:
+    """Coerce the engine's ``pool`` argument into a pool or ``None``.
+
+    ``False`` disables pooling outright (ignoring the process default) —
+    timing callers use it exactly like ``result_cache=False``.
+    """
+    if pool is False or pool is None:
+        return get_default_pool() if pool is None else None
+    return pool
+
+
+@atexit.register
+def _close_all_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass

@@ -10,6 +10,7 @@ from repro.evaluation.comparison import Comparison, compare_policies
 from repro.evaluation.expected_cost import (
     EvaluationResult,
     evaluate_expected_cost,
+    evaluate_policies_expected_cost,
     worst_case_cost,
 )
 from repro.evaluation.timing import DepthTiming, time_by_depth
@@ -24,6 +25,7 @@ __all__ = [
     "efficiency",
     "entropy_lower_bound",
     "evaluate_expected_cost",
+    "evaluate_policies_expected_cost",
     "time_by_depth",
     "worst_case_cost",
     "worst_case_lower_bound",

@@ -19,7 +19,7 @@ compilations across runs.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
-from repro.engine import simulate_all_targets
+from repro.engine import simulate_all_targets, simulate_policies
 from repro.exceptions import SearchError
 from repro.plan import CompiledPlan
 
@@ -46,83 +46,22 @@ class EvaluationResult:
     per_target: dict[Hashable, int] | None = field(default=None, repr=False)
 
 
-def evaluate_expected_cost(
-    policy: Policy | CompiledPlan,
+def _result_from_engine(
+    engine,
     hierarchy: Hierarchy,
-    distribution: TargetDistribution,
-    *,
-    cost_model: QueryCostModel | None = None,
-    max_targets: int | None = None,
-    rng: np.random.Generator | None = None,
-    targets: list[Hashable] | None = None,
-    keep_per_target: bool = False,
-    check_correctness: bool = True,
-    plan_cache=None,
-    jobs: int | None = None,
-    result_cache=None,
+    targets,
+    weights: np.ndarray | None,
+    method: str,
+    keep_per_target: bool,
 ) -> EvaluationResult:
-    """Exact or Monte-Carlo expected cost of a policy or compiled plan.
+    """Aggregate one engine result into an :class:`EvaluationResult`.
 
-    Parameters
-    ----------
-    max_targets:
-        When the distribution's support exceeds this, switch to Monte-Carlo
-        with ``max_targets`` sampled targets (requires ``rng``).  ``None``
-        (default) forces the exact all-support evaluation.
-    targets:
-        Explicit Monte-Carlo target sample (already drawn from ``p``); used
-        by :func:`repro.evaluation.comparison.compare_policies` so that every
-        policy faces the same sample.  Duplicates count with multiplicity.
-    check_correctness:
-        Assert the policy returns the true target on every simulated search.
-    plan_cache:
-        Forwarded to the engine: a :class:`~repro.plan.PlanCache` or
-        directory path for persisting compiled plans across runs.
-    jobs:
-        Forwarded to the engine: shard the exact plan walk over this many
-        worker processes (identical numbers for every value).
-    result_cache:
-        Forwarded to the engine: an
-        :class:`~repro.engine.EngineResultCache` or directory path; an
-        unchanged configuration re-run skips the walk entirely.
+    Shared by the single-policy and the batch entry points so the numbers
+    of ``compare_policies(..., pool=...)`` are — by construction — the same
+    aggregation of the same per-target arrays the per-policy path uses.
+    Duplicate Monte-Carlo samples index the same engine entry repeatedly,
+    so the unweighted mean weighs each target by its sample multiplicity.
     """
-    model = cost_model or UnitCost()
-    support = sorted(distribution.support, key=str)
-    if not support:
-        raise SearchError("distribution has empty support")
-
-    weights: np.ndarray | None
-    if targets is not None:
-        method = "monte-carlo"
-        weights = None
-    elif max_targets is not None and len(support) > max_targets:
-        if rng is None:
-            raise SearchError("Monte-Carlo evaluation needs an rng")
-        targets = distribution.sample(rng, size=max_targets)
-        method = "monte-carlo"
-        weights = None
-    else:
-        targets = support
-        method = "exact"
-        weights = np.fromiter(
-            (distribution.p(z) for z in support),
-            dtype=float,
-            count=len(support),
-        )
-
-    engine = simulate_all_targets(
-        policy,
-        hierarchy,
-        distribution,
-        model,
-        targets=targets,
-        check_correctness=check_correctness,
-        plan_cache=plan_cache,
-        jobs=jobs,
-        result_cache=result_cache,
-    )
-    # Duplicate Monte-Carlo samples index the same engine entry repeatedly,
-    # so the mean below weighs each target by its sample multiplicity.
     index = np.fromiter(
         (hierarchy.index(z) for z in targets),
         dtype=np.int64,
@@ -149,6 +88,154 @@ def evaluate_expected_cost(
     )
 
 
+def _exact_weights(
+    distribution: TargetDistribution, support: list[Hashable]
+) -> np.ndarray:
+    return np.fromiter(
+        (distribution.p(z) for z in support),
+        dtype=float,
+        count=len(support),
+    )
+
+
+def evaluate_expected_cost(
+    policy: Policy | CompiledPlan,
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution,
+    *,
+    cost_model: QueryCostModel | None = None,
+    max_targets: int | None = None,
+    rng: np.random.Generator | None = None,
+    targets: list[Hashable] | None = None,
+    keep_per_target: bool = False,
+    check_correctness: bool = True,
+    plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
+    pool=None,
+) -> EvaluationResult:
+    """Exact or Monte-Carlo expected cost of a policy or compiled plan.
+
+    Parameters
+    ----------
+    max_targets:
+        When the distribution's support exceeds this, switch to Monte-Carlo
+        with ``max_targets`` sampled targets (requires ``rng``).  ``None``
+        (default) forces the exact all-support evaluation.
+    targets:
+        Explicit Monte-Carlo target sample (already drawn from ``p``); used
+        by :func:`repro.evaluation.comparison.compare_policies` so that every
+        policy faces the same sample.  Duplicates count with multiplicity.
+    check_correctness:
+        Assert the policy returns the true target on every simulated search.
+    plan_cache:
+        Forwarded to the engine: a :class:`~repro.plan.PlanCache` or
+        directory path for persisting compiled plans across runs.
+    jobs:
+        Forwarded to the engine: shard the exact plan walk over this many
+        worker processes (identical numbers for every value).
+    result_cache:
+        Forwarded to the engine: an
+        :class:`~repro.engine.EngineResultCache` or directory path; an
+        unchanged configuration re-run skips the walk entirely.
+    pool:
+        Forwarded to the engine: a persistent
+        :class:`~repro.engine.EvaluationPool` serving the walk from
+        long-lived workers (``False`` disables the ambient default pool).
+    """
+    model = cost_model or UnitCost()
+    support = sorted(distribution.support, key=str)
+    if not support:
+        raise SearchError("distribution has empty support")
+
+    weights: np.ndarray | None
+    if targets is not None:
+        method = "monte-carlo"
+        weights = None
+    elif max_targets is not None and len(support) > max_targets:
+        if rng is None:
+            raise SearchError("Monte-Carlo evaluation needs an rng")
+        targets = distribution.sample(rng, size=max_targets)
+        method = "monte-carlo"
+        weights = None
+    else:
+        targets = support
+        method = "exact"
+        weights = _exact_weights(distribution, support)
+
+    engine = simulate_all_targets(
+        policy,
+        hierarchy,
+        distribution,
+        model,
+        targets=targets,
+        check_correctness=check_correctness,
+        plan_cache=plan_cache,
+        jobs=jobs,
+        result_cache=result_cache,
+        pool=pool,
+    )
+    return _result_from_engine(
+        engine, hierarchy, targets, weights, method, keep_per_target
+    )
+
+
+def evaluate_policies_expected_cost(
+    policies: Sequence[Policy | CompiledPlan],
+    hierarchy: Hierarchy,
+    distribution: TargetDistribution,
+    *,
+    cost_model: QueryCostModel | None = None,
+    targets: list[Hashable] | None = None,
+    keep_per_target: bool = False,
+    check_correctness: bool = True,
+    plan_cache=None,
+    jobs: int | None = None,
+    result_cache=None,
+    pool=None,
+) -> tuple[EvaluationResult, ...]:
+    """Expected costs of several policies under one shared configuration.
+
+    The batch counterpart of :func:`evaluate_expected_cost`, built on
+    :func:`repro.engine.simulate_policies`: with a persistent ``pool`` the
+    policies' plan walks overlap on the pool's workers instead of running
+    back to back, and every policy faces the *same* target set (``targets``
+    for a shared Monte-Carlo sample, the full support otherwise) so the
+    comparison stays paired.  Numbers are identical to calling
+    :func:`evaluate_expected_cost` per policy.
+    """
+    model = cost_model or UnitCost()
+    support = sorted(distribution.support, key=str)
+    if not support:
+        raise SearchError("distribution has empty support")
+    if targets is not None:
+        method = "monte-carlo"
+        weights = None
+    else:
+        targets = support
+        method = "exact"
+        weights = _exact_weights(distribution, support)
+
+    engines = simulate_policies(
+        policies,
+        hierarchy,
+        distribution,
+        model,
+        targets=targets,
+        check_correctness=check_correctness,
+        plan_cache=plan_cache,
+        jobs=jobs,
+        result_cache=result_cache,
+        pool=pool,
+    )
+    return tuple(
+        _result_from_engine(
+            engine, hierarchy, targets, weights, method, keep_per_target
+        )
+        for engine in engines
+    )
+
+
 def worst_case_cost(
     policy: Policy | CompiledPlan,
     hierarchy: Hierarchy,
@@ -157,6 +244,7 @@ def worst_case_cost(
     targets: Iterable[Hashable] | None = None,
     jobs: int | None = None,
     result_cache=None,
+    pool=None,
 ) -> int:
     """Maximum query count over the given targets (default: all nodes)."""
     engine = simulate_all_targets(
@@ -167,5 +255,6 @@ def worst_case_cost(
         check_correctness=False,
         jobs=jobs,
         result_cache=result_cache,
+        pool=pool,
     )
     return engine.worst_case()

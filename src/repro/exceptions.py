@@ -55,6 +55,11 @@ class PlanError(ReproError):
     """A compiled plan could not be built, loaded, or executed."""
 
 
+class PoolError(ReproError):
+    """The persistent evaluation pool failed (worker death, corrupt shared
+    segment, exhausted plan registry, or use after :meth:`close`)."""
+
+
 class BudgetExceededError(SearchError):
     """The search exceeded its query budget before identifying the target.
 

@@ -27,12 +27,15 @@ from repro.taxonomy import amazon_catalog, amazon_like, imagenet_catalog, imagen
 
 
 def run_dataset(
-    kind: str, scale: Scale, seed: int = 0, *, jobs: int | None = None
+    kind: str, scale: Scale, seed: int = 0, *, jobs: int | None = None,
+    pool=None,
 ) -> Series:
     """One Fig. 6 panel (``kind`` is ``"Amazon"`` or ``"ImageNet"``).
 
-    ``jobs`` shards the all-targets engine pass over worker processes
-    (``None`` inherits the process default, e.g. the CLI's ``--jobs``).
+    ``jobs`` shards the all-targets engine pass over worker processes and
+    ``pool`` serves it from a persistent :class:`~repro.engine.EvaluationPool`
+    (``None`` inherits the process defaults, e.g. the CLI's ``--jobs`` /
+    ``--pool``).
     """
     n = scale.fig6_nodes
     if kind == "Amazon":
@@ -78,7 +81,8 @@ def run_dataset(
     # result_cache=False: this line *times* the walk, so an installed
     # default result cache must not turn it into a disk load.
     simulate_all_targets(
-        efficient, hierarchy, distribution, jobs=jobs, result_cache=False
+        efficient, hierarchy, distribution, jobs=jobs, result_cache=False,
+        pool=pool,
     )
     engine_ms = 1000.0 * (time.perf_counter() - start) / hierarchy.n
     series.add_line("Engine (amortized ms/target)", [engine_ms] * len(depths))
@@ -86,10 +90,12 @@ def run_dataset(
 
 
 def run(
-    scale: Scale = SMALL, seed: int = 0, *, jobs: int | None = None
+    scale: Scale = SMALL, seed: int = 0, *, jobs: int | None = None,
+    pool=None,
 ) -> list[Series]:
     return [
-        run_dataset(k, scale, seed, jobs=jobs) for k in ("Amazon", "ImageNet")
+        run_dataset(k, scale, seed, jobs=jobs, pool=pool)
+        for k in ("Amazon", "ImageNet")
     ]
 
 

@@ -39,12 +39,15 @@ def _avg_search_ms(policy, hierarchy, distribution, targets) -> float:
     return 1000.0 * (time.perf_counter() - start) / len(targets)
 
 
-def _engine_ms_per_target(policy, hierarchy, distribution, jobs=None) -> float:
+def _engine_ms_per_target(
+    policy, hierarchy, distribution, jobs=None, pool=None
+) -> float:
     start = time.perf_counter()
     # result_cache=False: this column *times* the walk, so an installed
     # default result cache must not turn it into a disk load.
     simulate_all_targets(
-        policy, hierarchy, distribution, jobs=jobs, result_cache=False
+        policy, hierarchy, distribution, jobs=jobs, result_cache=False,
+        pool=pool,
     )
     return 1000.0 * (time.perf_counter() - start) / hierarchy.n
 
@@ -57,6 +60,7 @@ def run(
     samples: int | None = None,
     naive_cap: int = 500,
     jobs: int | None = None,
+    pool=None,
 ) -> Table:
     """Per-search time versus hierarchy size.
 
@@ -64,7 +68,8 @@ def run(
     algorithm is only measured up to ``naive_cap`` nodes (it is O(n m) *per
     round*; beyond that it dominates the suite's runtime without adding
     information).  ``jobs`` shards the engine pass over worker processes
-    (``None`` inherits the process default, e.g. the CLI's ``--jobs``).
+    and ``pool`` serves it from a persistent pool (``None`` inherits the
+    process defaults, e.g. the CLI's ``--jobs`` / ``--pool``).
     """
     if sizes is None:
         sizes = (100, 200, 400) if scale.name == "tiny" else (250, 500, 1000, 2000)
@@ -107,7 +112,7 @@ def run(
         else:
             row["GreedyNaive (tree)"] = "-"
         row["Engine/target (tree)"] = _engine_ms_per_target(
-            GreedyTreePolicy(), tree, tree_dist, jobs
+            GreedyTreePolicy(), tree, tree_dist, jobs, pool
         )
         table.add_row(row)
     return table

@@ -44,13 +44,16 @@ def run_dataset(
     *,
     jobs: int | None = None,
     result_cache=None,
+    pool=None,
 ) -> Table:
     """One paper table (IV for the tree, V for the DAG).
 
-    ``jobs`` and ``result_cache`` are forwarded to the engine (``None``
-    inherits the process defaults set by the CLI's ``--jobs`` /
-    ``--result-cache``); at paper scale the per-trial exact walks dominate
-    this driver, so both matter here most.
+    ``jobs``, ``result_cache``, and ``pool`` are forwarded to the engine
+    (``None`` inherits the process defaults set by the CLI's ``--jobs`` /
+    ``--result-cache`` / ``--pool``); at paper scale the per-trial exact
+    walks dominate this driver, so all three matter here most — a
+    persistent pool overlaps the four competitors' walks within each
+    trial.
     """
     number = "IV" if dataset.hierarchy.is_tree else "V"
     table = Table(
@@ -78,6 +81,7 @@ def run_dataset(
                 rng=rng,
                 jobs=jobs,
                 result_cache=result_cache,
+                pool=pool,
             )
             for result in comparison.results:
                 sums[result.policy] = (
@@ -107,13 +111,16 @@ def run(
     dataset_name: str | None = None,
     jobs: int | None = None,
     result_cache=None,
+    pool=None,
 ) -> list[Table]:
     datasets = build_datasets(scale, seed)
     selected = [
         d for d in datasets if dataset_name is None or d.name == dataset_name
     ]
     return [
-        run_dataset(d, scale, seed, jobs=jobs, result_cache=result_cache)
+        run_dataset(
+            d, scale, seed, jobs=jobs, result_cache=result_cache, pool=pool
+        )
         for d in selected
     ]
 

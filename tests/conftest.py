@@ -10,12 +10,44 @@ module (which is ambiguous when several directories define one).  The
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro import testing
+
+
+def _pool_segments() -> list[str]:
+    """Shared-memory segments published by pools of *this* process."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.exists():  # non-Linux: nothing to scan, nothing to leak
+        return []
+    return sorted(p.name for p in shm_dir.glob(f"rp_{os.getpid()}_*"))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def assert_no_orphaned_pool_segments():
+    """Fail the session if any pool shared-memory segment outlives its test.
+
+    Every :class:`repro.engine.EvaluationPool` unlinks its segments on
+    ``close()`` (and the engine's ``atexit`` hook covers pools left open at
+    interpreter exit) — but ``atexit`` runs *after* pytest, so a test that
+    leaks an open pool would silently rely on it.  This fixture is
+    instantiated before any pool-creating fixture and therefore finalizes
+    after all of them, asserting the invariant the hardening pass is about:
+    no orphaned ``/dev/shm`` segment remains once the suite is done.
+    """
+    yield
+    leaked = _pool_segments()
+    assert not leaked, (
+        f"pool shared-memory segments leaked by the test session: {leaked}; "
+        "every EvaluationPool must be closed (context manager or explicit "
+        "close())"
+    )
 
 
 @pytest.fixture
