@@ -3,21 +3,43 @@
 Every acceptance benchmark writes, next to its human-readable
 ``results/*.txt`` report, a ``BENCH_<name>.json`` file in a common schema::
 
-    {"name": ..., "n_nodes": ..., "wall_s": ..., "speedup": ..., ...}
+    {"name": ..., "n_nodes": ..., "wall_s": ..., "speedup": ...,
+     "commit": ..., "run_date": ..., ...}
 
 ``name``/``n_nodes``/``wall_s``/``speedup`` are always present (the
 headline workload size, its wall-clock seconds, and the speedup over the
-benchmark's baseline); everything else is benchmark-specific detail.  The
-files are committed by CI as workflow artifacts so the performance
-trajectory across PRs stays diffable.
+benchmark's baseline), as are the provenance fields ``commit`` (the git
+HEAD sha the numbers were produced from, or ``null`` outside a checkout)
+and ``run_date`` (UTC ISO-8601) — without them the per-PR artifacts are
+points without an axis; with them the performance trajectory across PRs
+is a plottable time/commit series.  Everything else is
+benchmark-specific detail.  The files are committed by CI as workflow
+artifacts so the trajectory stays diffable.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_commit() -> str | None:
+    """The checkout's HEAD sha, or None outside a git work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def write_bench_json(
@@ -29,6 +51,8 @@ def write_bench_json(
         "n_nodes": int(n_nodes),
         "wall_s": round(float(wall_s), 6),
         "speedup": round(float(speedup), 2),
+        "commit": _git_commit(),
+        "run_date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         **extra,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"

@@ -10,7 +10,11 @@ only when the learned distribution refreshes.)
 
 Once the distribution has converged, the policy is compiled into an
 immutable plan (`compile_policy`), persisted, and reloaded — the artifact a
-labelling service ships so that worker sessions are pure plan walks.
+labelling service ships.  The service itself is the streaming server
+(:mod:`repro.serve`): product sessions arrive as a feed, are micro-batched
+per shared plan, and run behind admission control — a bounded in-flight
+cap plus a bounded waiting queue, with typed rejection once both are full,
+which this example triggers on purpose.
 
 Run:  python examples/product_catalog_online.py
 """
@@ -25,10 +29,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro import CompiledPlan, ExactOracle, compile_policy
+from repro import CompiledPlan, compile_policy
 from repro.evaluation import evaluate_expected_cost
+from repro.exceptions import AdmissionError
 from repro.online import simulate_online_labeling
 from repro.policies import GreedyTreePolicy, WigsPolicy
+from repro.serve import Server, SessionRequest
 from repro.taxonomy import amazon_catalog, amazon_like
 
 
@@ -67,7 +73,7 @@ def main() -> None:
     )
 
     # Ship the converged behaviour: compile once against the true
-    # distribution, persist, reload, and serve sessions from cursors.
+    # distribution, persist, reload — the serving artifact.
     plan = compile_policy(GreedyTreePolicy(), hierarchy, truth)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "catalog.plan"
@@ -77,15 +83,41 @@ def main() -> None:
         f"\nCompiled plan: {served.num_questions} questions for "
         f"{hierarchy.n} categories (key {served.config_key[:12]}...)"
     )
-    for target in rng.choice(hierarchy.nodes, size=3, replace=False):
-        oracle = ExactOracle(hierarchy, target)
-        cursor = served.start()
-        while not cursor.done():
-            cursor.observe(oracle.answer(cursor.propose()))
-        print(
-            f"  served a {cursor.result()!r} session in "
-            f"{cursor.num_queries} questions (no policy work)"
-        )
+
+    # The labelling service: a streaming server micro-batches every
+    # concurrent session over the one shared plan.  A burst of 2,000
+    # product sessions flows through a 256-session admission window.
+    arrivals = catalog.stream(rng, max_objects=2_000)
+    feed = (
+        SessionRequest(i, target=category)
+        for i, category in enumerate(arrivals)
+    )
+    with Server(served, max_sessions=256, queue_limit=512) as server:
+        outcomes = list(server.serve(feed))
+    ok = [o for o in outcomes if o.ok]
+    print(
+        f"\nServed {len(ok)} product sessions "
+        f"(peak {server.stats.peak_in_flight} in flight, "
+        f"{server.stats.steps} vectorized steps); "
+        f"avg {sum(o.result.num_queries for o in ok) / len(ok):.2f} "
+        "questions/product"
+    )
+
+    # Admission control end to end: a deliberately tiny service sheds the
+    # overflow with a *typed* rejection instead of queueing unboundedly.
+    with Server(served, max_sessions=4, queue_limit=8) as tiny:
+        admitted = rejected = 0
+        for i, category in enumerate(catalog.stream(rng, max_objects=50)):
+            try:
+                tiny.submit(SessionRequest(f"burst-{i}", target=category))
+                admitted += 1
+            except AdmissionError:
+                rejected += 1  # back off / retry in a real producer
+        finished = tiny.drain()
+    print(
+        f"Overload drill: {admitted} admitted, {rejected} rejected "
+        f"(AdmissionError), {len(finished)} completed after the burst"
+    )
 
 
 if __name__ == "__main__":

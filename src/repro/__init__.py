@@ -78,8 +78,14 @@ from repro.plan import (
     plan_key,
     set_default_cache,
 )
+from repro.serve import (
+    Server,
+    SessionOutcome,
+    SessionRequest,
+    SessionRuntime,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BudgetExceededError",
@@ -109,6 +115,10 @@ __all__ = [
     "SearchCursor",
     "SearchError",
     "SearchResult",
+    "Server",
+    "SessionOutcome",
+    "SessionRequest",
+    "SessionRuntime",
     "TableCost",
     "TargetDistribution",
     "UnitCost",

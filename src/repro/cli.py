@@ -18,7 +18,12 @@ Three modes:
 * compile mode — ``python -m repro compile --edges hierarchy.tsv --out
   plan.bin`` freezes a policy into a :class:`repro.plan.CompiledPlan` file
   that later interactive sessions load instantly (``interactive --plan
-  plan.bin``).
+  plan.bin``);
+* serve mode — ``python -m repro serve --edges hierarchy.tsv --sessions
+  1000`` pushes N concurrent sessions through the micro-batched streaming
+  server (:mod:`repro.serve`) under admission control and reports
+  throughput plus per-session question percentiles (``--pool`` offloads
+  the batches to the persistent worker pool's streaming mode).
 """
 
 from __future__ import annotations
@@ -40,8 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "interactive", "compile"],
-        help="paper table/figure to regenerate, 'interactive', or 'compile'",
+        choices=[*EXPERIMENTS, "all", "interactive", "compile", "serve"],
+        help="paper table/figure to regenerate, 'interactive', 'compile', "
+        "or 'serve' (micro-batched session serving demo)",
     )
     parser.add_argument(
         "--scale",
@@ -96,6 +102,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment mode: cache engine results (per-target cost "
         "arrays) under DIR (e.g. results/enginecache) so re-running an "
         "unchanged evaluation skips the walk entirely",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="serve mode: number of concurrent sessions to simulate "
+        "(default: 1000)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=256,
+        metavar="N",
+        help="serve mode: admission-control cap on in-flight sessions "
+        "(default: 256); excess sessions wait in the bounded queue",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="serve mode: waiting-queue bound before typed rejection "
+        "(default: 1024)",
     )
     parser.add_argument(
         "--pool",
@@ -165,12 +195,81 @@ def _run_compile(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """Micro-batched serving demo: N sessions through ``repro.serve``."""
+    import numpy as np
+
+    from repro.plan import CompiledPlan, compile_policy
+    from repro.serve import Server, SessionRequest
+
+    if args.plan:
+        plan = CompiledPlan.load(args.plan)
+        hierarchy = plan.hierarchy
+    else:
+        hierarchy = _load_hierarchy_or_fail(args)
+        if hierarchy is None:
+            return 2
+        plan = compile_policy(_make_policy(args, hierarchy), hierarchy)
+
+    rng = np.random.default_rng(args.seed)
+    picks = rng.integers(0, hierarchy.n, size=args.sessions)
+    feed = (
+        SessionRequest(i, target=hierarchy.nodes[int(p)])
+        for i, p in enumerate(picks)
+    )
+
+    pool = None
+    if args.pool is not None:
+        from repro.engine import EvaluationPool
+
+        pool = EvaluationPool(args.pool or None)
+    server = Server(
+        plan,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        pool=pool,
+    )
+    try:
+        start = time.perf_counter()
+        with server:
+            outcomes = list(server.serve(feed))
+        elapsed = time.perf_counter() - start
+    finally:
+        if pool is not None:
+            pool.close()
+
+    counts = np.array(
+        [o.result.num_queries for o in outcomes if o.ok], dtype=float
+    )
+    stats = server.stats
+    print(
+        f"served {stats.completed} session(s) over {hierarchy.n} categories "
+        f"with plan {plan.policy_name!r} in {elapsed:.3f}s "
+        f"({stats.completed / elapsed:,.0f} sessions/s)"
+    )
+    print(
+        f"  in-flight peak {stats.peak_in_flight} "
+        f"(cap {args.max_sessions}), {stats.rejected} rejected, "
+        f"{stats.errored} errored, {stats.offloaded} pool-offloaded, "
+        f"{stats.steps} vectorized steps"
+    )
+    if counts.size:
+        p50, p90, p99 = np.percentile(counts, [50, 90, 99])
+        print(
+            f"  questions/session: mean {counts.mean():.2f}, p50 {p50:.0f}, "
+            f"p90 {p90:.0f}, p99 {p99:.0f}, max {int(counts.max())}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "interactive":
         return _run_interactive(args)
     if args.experiment == "compile":
         return _run_compile(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.plan_cache:
         from repro.plan import set_default_cache
 

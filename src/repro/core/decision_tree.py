@@ -24,6 +24,7 @@ from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.policy import PolicyFactory
+from repro.core.session import default_budget
 from repro.exceptions import SearchError
 
 
@@ -226,7 +227,7 @@ def build_decision_tree(
         Safety bound on the tree depth; defaults to ``2 * n + 10``.
     """
     model = cost_model or UnitCost()
-    depth_cap = max_depth if max_depth is not None else 2 * hierarchy.n + 10
+    depth_cap = default_budget(hierarchy, max_depth)
 
     def replay(prefix: tuple[bool, ...]):
         """Fresh policy advanced through the given answer prefix."""

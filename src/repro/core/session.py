@@ -23,7 +23,7 @@ from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle, Oracle
 from repro.core.policy import Policy
-from repro.exceptions import BudgetExceededError, SearchError
+from repro.exceptions import SearchError
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,20 @@ class SearchResult:
     def queries(self) -> tuple[Hashable, ...]:
         """Just the sequence of queried nodes."""
         return tuple(q for q, _ in self.transcript)
+
+
+def default_budget(hierarchy: Hierarchy, max_queries: int | None = None) -> int:
+    """The session/compile query budget: ``max_queries`` or ``2 n + 10``.
+
+    One question per node suffices for a correct policy (every question
+    eliminates at least one candidate); doubling plus slack keeps the
+    guard far from legitimate searches while still bounding broken
+    policies.  Every layer that needs the default (runtime, compiler,
+    lazy plans, decision trees, engine, pool streams, server) shares this
+    helper so the admission budget can never desynchronize from the
+    execution budget.
+    """
+    return max_queries if max_queries is not None else 2 * hierarchy.n + 10
 
 
 def start_session(
@@ -124,32 +138,21 @@ def run_search(
     SearchResult
         With the returned node, query count, price, and transcript.
     """
-    model = cost_model or UnitCost()
-    executor, hierarchy = start_session(
-        policy, hierarchy, distribution, model, reset=reset
+    # The loop itself lives in repro.serve.runtime.SessionRuntime — the one
+    # propose/observe engine shared with the online simulator, the console,
+    # and the streaming server.  Imported lazily: repro.serve imports this
+    # module for SearchResult/start_session.
+    from repro.serve.runtime import SessionRuntime
+
+    runtime = SessionRuntime(
+        policy,
+        hierarchy,
+        distribution,
+        cost_model,
+        max_queries=max_queries,
+        reset=reset,
     )
-    budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
-    transcript: list[tuple[Hashable, bool]] = []
-    total_price = 0.0
-    while not executor.done():
-        if len(transcript) >= budget:
-            raise BudgetExceededError(
-                f"policy {getattr(policy, 'name', '?')!r} "
-                f"({type(policy).__name__}) exceeded the query budget of "
-                f"{budget} questions after asking {len(transcript)} "
-                "questions without identifying the target"
-            )
-        query = executor.propose()
-        answer = bool(oracle.answer(query))
-        total_price += model.cost(query)
-        transcript.append((query, answer))
-        executor.observe(answer)
-    return SearchResult(
-        returned=executor.result(),
-        num_queries=len(transcript),
-        total_price=total_price,
-        transcript=tuple(transcript),
-    )
+    return runtime.run(oracle)
 
 
 def search_for_target(

@@ -33,6 +33,7 @@ from repro.engine.parallel import (
 )
 from repro.engine.pool import (
     EvaluationPool,
+    PlanStream,
     get_default_pool,
     resolve_pool,
     set_default_pool,
@@ -41,6 +42,7 @@ from repro.engine.vector import (
     SPLITTER_KINDS,
     VectorPolicy,
     is_vector_policy,
+    make_answerer,
     make_splitter,
 )
 
@@ -48,6 +50,7 @@ __all__ = [
     "EngineResult",
     "EngineResultCache",
     "EvaluationPool",
+    "PlanStream",
     "SPLITTER_KINDS",
     "VectorPolicy",
     "as_result_cache",
@@ -55,6 +58,7 @@ __all__ = [
     "get_default_pool",
     "get_default_result_cache",
     "is_vector_policy",
+    "make_answerer",
     "make_splitter",
     "resolve_jobs",
     "resolve_pool",

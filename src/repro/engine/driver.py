@@ -54,7 +54,7 @@ from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle
 from repro.core.policy import Policy
-from repro.core.session import run_search
+from repro.core.session import default_budget, run_search
 from repro.engine.vector import is_vector_policy, make_splitter
 from repro.exceptions import BudgetExceededError, SearchError
 from repro.plan import (
@@ -235,7 +235,7 @@ def _prepare_run(
         )
         if target_ix.size == 0:
             raise SearchError("no targets to simulate")
-    budget = max_queries if max_queries is not None else 2 * n + 10
+    budget = default_budget(hierarchy, max_queries)
 
     # The configuration content hash (shared with the plan cache) keys the
     # persisted result; policies that cannot be fingerprinted reliably

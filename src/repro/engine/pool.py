@@ -29,6 +29,15 @@ policies.  :class:`EvaluationPool` removes both costs:
   entry is held, :class:`~repro.exceptions.PoolError` is raised instead of
   silently unmapping a plan under a running worker.
 
+* **Streaming mode.**  :meth:`EvaluationPool.stream` opens a
+  :class:`PlanStream`: the plan stays resident (never evicted) and target
+  batches are submitted *as they arrive* — from an online session feed,
+  the streaming server (:mod:`repro.serve`), or any incremental producer
+  — each batch dispatched to the warm workers immediately, results
+  collected with :meth:`~PlanStream.poll`/:meth:`~PlanStream.join` while
+  later batches are still arriving.  This is what turns the pool from a
+  batch evaluator into a serving endpoint.
+
 * **Cross-policy overlap.**  :meth:`run_batch` submits *all* requests'
   frame buckets into the one queue before collecting, so the walks of
   different policies interleave across workers —
@@ -436,6 +445,11 @@ class EvaluationPool:
         self._registry: dict[str, _Segment] = {}
         self._task_ids = itertools.count()
         self._stamps = itertools.count()
+        #: Streaming-mode bookkeeping: task id -> (stream, message), so any
+        #: collector (a stream's own poll/join or a concurrent run_batch)
+        #: can route a stream result home, and a restart can resubmit
+        #: in-flight stream batches along with its own.
+        self._stream_tasks: dict[int, tuple["PlanStream", tuple]] = {}
         self._closed = False
         #: Walks served, workers respawned after a death, segments evicted.
         self.walks = 0
@@ -764,16 +778,82 @@ class EvaluationPool:
                 # Any death forces a full restart (see _restart: a kill can
                 # poison the shared queue locks); then resubmit every
                 # unfinished bucket — duplicates are dropped by task id.
+                # In-flight streaming batches die with the queues too, so
+                # they are resubmitted alongside.
                 self._restart()
                 for msg in pending.values():
                     self._tasks.put(msg)
+                self._resubmit_stream_tasks()
                 continue
             if task_id not in pending:
+                self._route_stream(task_id, status, payload)
                 continue
             del pending[task_id]
             if status == "error":
                 raise self._as_exception(payload)
             handlers[task_id](payload)
+
+    # ------------------------------------------------------------------
+    # Streaming mode
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        plan,
+        hierarchy=None,
+        *,
+        cost_model=None,
+        max_queries: int | None = None,
+        check_correctness: bool = True,
+    ) -> "PlanStream":
+        """Open a :class:`PlanStream`: submit target batches as they arrive.
+
+        Where :meth:`run_walk` evaluates one *whole* target set in a single
+        synchronous call, a stream keeps the plan resident (published and
+        protected from eviction) and accepts arbitrarily many small target
+        batches over its lifetime — the shape of an online session feed,
+        where targets trickle in and a serving layer wants per-batch
+        results *while later batches are still arriving*.  Batches are
+        dispatched to the warm workers immediately on
+        :meth:`~PlanStream.submit`; completed per-target query/price
+        arrays come back through :meth:`~PlanStream.poll` (non-blocking)
+        or :meth:`~PlanStream.join` (drain everything outstanding).
+
+        Numbers are bit-identical to ``simulate_all_targets`` on the same
+        target subset — a stream batch is the same plan walk, started from
+        the root with the batch as its target vector.
+        """
+        from repro.core.costs import UnitCost
+        from repro.core.session import default_budget
+
+        if self._closed:
+            raise PoolError("the evaluation pool is closed")
+        if hierarchy is None:
+            hierarchy = plan.hierarchy
+        model = cost_model or UnitCost()
+        return PlanStream(
+            self, plan, hierarchy, model,
+            default_budget(hierarchy, max_queries), check_correctness,
+        )
+
+    def _route_stream(self, task_id: int, status: str, payload) -> bool:
+        """Deliver a result that belongs to a streaming batch, if any.
+
+        Any collector may pull another consumer's result off the one
+        shared queue; routing by task id keeps streams and synchronous
+        ``run_batch`` calls composable.  Unknown ids are stale duplicates
+        (resubmissions that finished twice) and are dropped.
+        """
+        entry = self._stream_tasks.pop(task_id, None)
+        if entry is None:
+            return False
+        stream, _msg = entry
+        stream._deliver(task_id, status, payload)
+        return True
+
+    def _resubmit_stream_tasks(self) -> None:
+        """Re-enqueue every in-flight stream batch after a queue rebuild."""
+        for _stream, msg in self._stream_tasks.values():
+            self._tasks.put(msg)
 
     @staticmethod
     def _as_exception(payload) -> BaseException:
@@ -799,6 +879,268 @@ class EvaluationPool:
         task_id = next(self._task_ids)
         self._tasks.put(("sleep", task_id, float(seconds)))
         return task_id
+
+
+# ----------------------------------------------------------------------
+# Streaming walks
+# ----------------------------------------------------------------------
+class StreamBatch:
+    """One completed streaming batch: per-target costs, aligned arrays.
+
+    When the walk failed (collected with ``raise_errors=False``),
+    ``error`` carries the worker's re-typed exception and the arrays are
+    ``None`` — the batch identity (ticket) survives so a serving layer can
+    attribute the failure to its sessions.
+    """
+
+    __slots__ = ("ticket", "target_ix", "queries", "prices", "visited", "error")
+
+    def __init__(
+        self, ticket, target_ix, queries, prices, visited, error=None
+    ) -> None:
+        self.ticket = int(ticket)
+        #: Evaluated target node indices (unique, ascending).
+        self.target_ix = target_ix
+        #: Query count per entry of ``target_ix``.
+        self.queries = queries
+        #: Total price per entry of ``target_ix``.
+        self.prices = prices
+        #: Plan decision points visited for this batch.
+        self.visited = int(visited)
+        #: The walk's exception, when collected with ``raise_errors=False``.
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            return (
+                f"StreamBatch(ticket={self.ticket}, "
+                f"error={type(self.error).__name__})"
+            )
+        return (
+            f"StreamBatch(ticket={self.ticket}, "
+            f"targets={len(self.target_ix)}, visited={self.visited})"
+        )
+
+
+class PlanStream:
+    """A live streaming walk: one resident plan, many incremental batches.
+
+    Created by :meth:`EvaluationPool.stream`.  The plan's shared-memory
+    segment is held active for the stream's lifetime (the registry never
+    evicts it), so every submitted batch is a few queue messages — no
+    publish, no re-attach on warm workers.  Submission is fire-and-forget;
+    results are pulled with :meth:`poll`/:meth:`join` and identified by the
+    ticket :meth:`submit` returned.  Streams compose with concurrent
+    :meth:`~EvaluationPool.run_batch` calls on the same pool: whichever
+    side drains the result queue routes foreign results home.
+
+    Worker deaths are survived the same way ``run_batch`` survives them —
+    :meth:`join` restarts the pool and resubmits the outstanding batches
+    (walks are pure; duplicates are dropped by ticket).
+
+    Use as a context manager, or :meth:`close` explicitly to release the
+    plan segment.
+    """
+
+    def __init__(self, pool, plan, hierarchy, model, budget, check) -> None:
+        self._pool = pool
+        self.plan = plan
+        self.hierarchy = hierarchy
+        self.model = model
+        self.budget = int(budget)
+        self.check = bool(check)
+        pool._ensure_started()
+        self._key, self._seg_name = pool._acquire_for_walk(plan, hierarchy)
+        #: Tickets submitted but not yet delivered.
+        self._pending: set[int] = set()
+        #: Delivered ``(ticket, status, payload)`` awaiting a poll/join.
+        self._ready: list = []
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        #: Consecutive poll()-side death recoveries without a delivery
+        #: (join keeps its own per-call counter; reset by _deliver).
+        self._respawns = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PlanStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the resident plan and forget outstanding batches.
+
+        Outstanding results are dropped when they surface (their tickets
+        are no longer registered).  Idempotent; safe after pool close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for ticket in list(self._pending):
+            self._pool._stream_tasks.pop(ticket, None)
+        self._pending.clear()
+        self._ready.clear()
+        if not self._pool.closed:
+            self._pool._release_after_walk(self._key)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        """Batches submitted and not yet collected."""
+        return len(self._pending) + len(self._ready)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.pending} pending"
+        return (
+            f"PlanStream({self.plan.policy_name!r}, "
+            f"{self.submitted} submitted, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, targets) -> int:
+        """Dispatch one target batch to the workers; returns its ticket.
+
+        ``targets`` is an iterable of node labels, or a numpy integer
+        array of node indices.  Duplicates collapse (per-target results
+        are keyed by target).  The batch starts walking as soon as a
+        worker picks it up — typically before the next batch arrives.
+        """
+        from repro.plan.plan import ROOT
+
+        if self._closed:
+            raise PoolError("this plan stream is closed")
+        if self._pool.closed:
+            raise PoolError("the evaluation pool is closed")
+        if isinstance(targets, np.ndarray) and np.issubdtype(
+            targets.dtype, np.integer
+        ):
+            subset = np.unique(targets.astype(np.int64, copy=False))
+        else:
+            index = self.hierarchy.index
+            subset = np.unique(
+                np.fromiter((index(t) for t in targets), dtype=np.int64)
+            )
+        if subset.size == 0:
+            raise PoolError("a stream batch needs at least one target")
+        ticket = next(self._pool._task_ids)
+        frames = [(ROOT, subset, 0, 0.0)]
+        msg = (
+            "walk", ticket, self._key, self._seg_name, frames,
+            self.model, self.budget, self.check, None,
+        )
+        self._pending.add(ticket)
+        self._pool._stream_tasks[ticket] = (self, msg)
+        self._pool._tasks.put(msg)
+        self.submitted += 1
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _deliver(self, ticket: int, status: str, payload) -> None:
+        self._pending.discard(ticket)
+        self._ready.append((ticket, status, payload))
+        # A delivery proves the pool is alive again: the poll-side respawn
+        # budget bounds *consecutive* failed recoveries (like run_batch's
+        # per-call counter), not lifetime deaths of a long-lived stream.
+        self._respawns = 0
+
+    def _flush_ready(self, raise_errors: bool) -> list[StreamBatch]:
+        out = []
+        while self._ready:
+            ticket, status, payload = self._ready.pop(0)
+            self.completed += 1
+            if status == "error":
+                exc = self._pool._as_exception(payload)
+                if raise_errors:
+                    raise exc
+                out.append(StreamBatch(ticket, None, None, None, 0, exc))
+                continue
+            evaluated, queries, prices, visited = payload
+            out.append(StreamBatch(ticket, evaluated, queries, prices, visited))
+        return out
+
+    def _recover_after_death(self, respawn_rounds: int) -> int:
+        """Restart the pool and resubmit in-flight stream batches.
+
+        Returns the incremented respawn round, raising once the shared
+        :data:`_MAX_RESPAWNS` budget is spent — the same bound
+        ``run_batch`` applies, so neither collection style can hang on a
+        repeatedly dying worker.
+        """
+        respawn_rounds += 1
+        if respawn_rounds > _MAX_RESPAWNS:
+            raise PoolError(
+                f"pool workers died {respawn_rounds} times re-running "
+                f"{len(self._pending)} unfinished stream batch(es); giving up"
+            )
+        self._pool._restart()
+        self._pool._resubmit_stream_tasks()
+        return respawn_rounds
+
+    def poll(self, *, raise_errors: bool = True) -> list[StreamBatch]:
+        """Completed batches available right now (never blocks).
+
+        Drains the pool's result queue opportunistically; results that
+        belong to other streams are routed to them.  A dead worker is
+        noticed here too — the pool restarts and outstanding batches are
+        resubmitted, so a caller that only ever polls still makes
+        progress.  A failed batch raises the worker's (re-typed)
+        exception, or — with ``raise_errors=False`` — comes back as a
+        :class:`StreamBatch` whose ``error`` is set, so streaming
+        consumers can attribute the failure without losing the stream.
+        """
+        while True:
+            try:
+                task_id, status, payload = self._pool._results.get_nowait()
+            except queue_mod.Empty:
+                break
+            self._pool._route_stream(task_id, status, payload)
+        if (
+            self._pending
+            and not self._ready
+            and self._pool._procs
+            and not all(proc.is_alive() for proc in self._pool._procs)
+        ):
+            self._respawns = self._recover_after_death(self._respawns)
+        return self._flush_ready(raise_errors)
+
+    def join(self, *, raise_errors: bool = True) -> list[StreamBatch]:
+        """Block until every outstanding batch finished; return them all.
+
+        Survives worker deaths exactly like ``run_batch``: any death
+        forces a pool restart and the outstanding batches are resubmitted,
+        bounded by the same respawn budget.
+        """
+        out = self._flush_ready(raise_errors)
+        respawn_rounds = 0
+        while self._pending:
+            try:
+                task_id, status, payload = self._pool._results.get(
+                    timeout=_POLL_INTERVAL
+                )
+            except queue_mod.Empty:
+                if all(proc.is_alive() for proc in self._pool._procs):
+                    continue
+                respawn_rounds = self._recover_after_death(respawn_rounds)
+                continue
+            self._pool._route_stream(task_id, status, payload)
+            out.extend(self._flush_ready(raise_errors))
+        out.extend(self._flush_ready(raise_errors))
+        return out
 
 
 # ----------------------------------------------------------------------

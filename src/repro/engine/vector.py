@@ -157,6 +157,70 @@ def make_splitter(
     return _tagged(split_sets, "sets")
 
 
+#: An answerer takes aligned ``(query_ix, target_ix)`` arrays — one entry
+#: per live session — and returns the boolean exact-oracle answers
+#: ``reaches(query, target)`` for all of them in one vectorized pass.
+Answerer = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def make_answerer(
+    hierarchy: Hierarchy, num_sessions: int, *, kind: str | None = None
+) -> Answerer:
+    """A batched exact-oracle kernel: answers for many sessions at once.
+
+    Where :func:`make_splitter` splits *one* target vector on *one* query
+    (the plan-walk shape), an answerer evaluates ``reaches(q_i, z_i)``
+    element-wise over aligned query/target arrays — the micro-batch shape
+    of the streaming server (:mod:`repro.serve`), where each concurrent
+    session sits at its *own* plan node.  Kernel choice and semantics
+    mirror :func:`make_splitter` exactly (same ``kind`` values, same
+    heuristics via ``num_sessions``); the chosen kind is exposed as
+    ``.kind``.
+    """
+    if kind is not None and kind not in SPLITTER_KINDS:
+        raise HierarchyError(
+            f"unknown splitter kind {kind!r}; expected one of {SPLITTER_KINDS}"
+        )
+    if kind is None:
+        kind = _choose_kind(hierarchy, num_sessions)
+
+    if kind == "tree":
+        tin, tout = hierarchy.tree_intervals()
+
+        def answer_tree(queries: np.ndarray, targets: np.ndarray):
+            times = tin[targets]
+            return (times >= tin[queries]) & (times < tout[queries])
+
+        return _tagged(answer_tree, "tree")
+
+    if kind == "matrix":
+        matrix = hierarchy.reachability_matrix(allow_large=True)
+
+        def answer_matrix(queries: np.ndarray, targets: np.ndarray):
+            return matrix[queries, targets]
+
+        return _tagged(answer_matrix, "matrix")
+
+    if kind == "bitset":
+        bits = hierarchy.reachability_bits(allow_large=True)
+
+        def answer_bits(queries: np.ndarray, targets: np.ndarray):
+            bytes_ = bits[queries, targets >> 3]
+            return ((bytes_ >> (7 - (targets & 7))) & 1).astype(bool)
+
+        return _tagged(answer_bits, "bitset")
+
+    def answer_sets(queries: np.ndarray, targets: np.ndarray):
+        descendants = hierarchy.descendants_ix
+        return np.fromiter(
+            (int(z) in descendants(int(q)) for q, z in zip(queries, targets)),
+            dtype=bool,
+            count=len(queries),
+        )
+
+    return _tagged(answer_sets, "sets")
+
+
 def _choose_kind(hierarchy: Hierarchy, num_targets: int) -> str:
     """The heuristic kernel choice (see :func:`make_splitter`)."""
     if hierarchy.is_tree:

@@ -6,7 +6,13 @@ from repro.evaluation.bounds import (
     entropy_lower_bound,
     worst_case_lower_bound,
 )
-from repro.evaluation.comparison import Comparison, compare_policies
+from repro.evaluation.comparison import (
+    Comparison,
+    SessionMetrics,
+    compare_policies,
+    metrics_from_engine,
+    session_metrics,
+)
 from repro.evaluation.expected_cost import (
     EvaluationResult,
     evaluate_expected_cost,
@@ -20,12 +26,15 @@ __all__ = [
     "DepthTiming",
     "EvaluationResult",
     "PolicyAnalysis",
+    "SessionMetrics",
     "analyze",
     "compare_policies",
     "efficiency",
     "entropy_lower_bound",
     "evaluate_expected_cost",
     "evaluate_policies_expected_cost",
+    "metrics_from_engine",
+    "session_metrics",
     "time_by_depth",
     "worst_case_cost",
     "worst_case_lower_bound",

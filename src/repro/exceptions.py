@@ -60,6 +60,22 @@ class PoolError(ReproError):
     segment, exhausted plan registry, or use after :meth:`close`)."""
 
 
+class ServeError(ReproError):
+    """The session-serving layer (:mod:`repro.serve`) was misused
+    (e.g. submitting to a closed server, or an unregistered plan)."""
+
+
+class AdmissionError(ServeError):
+    """A session was refused admission — the server is at its in-flight
+    capacity and its waiting queue is full.  Producers should back off and
+    retry; the server sheds load instead of growing without bound."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant tried to register more concurrent plans than its quota
+    allows.  Release a plan (finish its sessions) or raise the quota."""
+
+
 class BudgetExceededError(SearchError):
     """The search exceeded its query budget before identifying the target.
 

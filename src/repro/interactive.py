@@ -20,7 +20,7 @@ with scripted answers (see ``tests/test_interactive.py``).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable
+from collections.abc import Callable
 
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
@@ -95,45 +95,39 @@ def _drive_console(
     print_fn: Callable[[str], None],
     max_queries: int | None,
 ) -> SearchResult:
-    cursor = plan.start()
-    budget = max_queries if max_queries is not None else 2 * hierarchy.n + 10
-    transcript: list[tuple[Hashable, bool]] = []
-    total_price = 0.0
+    # All session mechanics (budget, transcript, price, undo refunds) live
+    # in the shared runtime; this function only translates between the
+    # human and the protocol.
+    from repro.serve.runtime import SessionRuntime
+
+    session = SessionRuntime(
+        plan, hierarchy, cost_model=model, max_queries=max_queries
+    )
     print_fn(
         f"Categorising against {hierarchy.n} categories "
         f"(root: {hierarchy.root!r}). Answer yes/no (or 'undo')."
     )
-    while not cursor.done():
-        if len(transcript) >= budget:
-            raise SearchError(f"exceeded the budget of {budget} questions")
-        query = cursor.propose()
+    while not session.done():
+        query = session.propose()
         while True:
-            raw = input_fn(f"[{len(transcript) + 1}] is it a {query!r}? ")
+            raw = input_fn(f"[{session.num_queries + 1}] is it a {query!r}? ")
             token = raw.strip().lower()
             if token in _UNDO:
-                if not transcript:
+                if not session.num_queries:
                     print_fn("  nothing to undo yet")
                     continue
-                cursor.undo()
-                undone_query, _ = transcript.pop()
-                total_price -= model.cost(undone_query)
+                undone_query = session.transcript()[-1][0]
+                session.undo()
                 print_fn(f"  took back the answer on {undone_query!r}")
-                query = cursor.propose()
+                query = session.propose()
                 continue
             try:
                 answer = parse_answer(raw)
                 break
             except SearchError:
                 print_fn("  please answer yes or no (or 'undo')")
-        transcript.append((query, answer))
-        total_price += model.cost(query)
-        cursor.observe(answer)
-    result = SearchResult(
-        returned=cursor.result(),
-        num_queries=len(transcript),
-        total_price=total_price,
-        transcript=tuple(transcript),
-    )
+        session.observe(answer)
+    result = session.result()
     print_fn(
         f"=> category: {result.returned!r} "
         f"({result.num_queries} questions, ${result.total_price:.2f})"

@@ -24,10 +24,10 @@ from dataclasses import dataclass
 from repro.core.hierarchy import Hierarchy
 from repro.core.oracle import ExactOracle
 from repro.core.policy import Policy
-from repro.core.session import run_search
 from repro.exceptions import SearchError
 from repro.online.learner import EmpiricalLearner
 from repro.plan import LazyPlan
+from repro.serve.runtime import SessionRuntime
 
 
 @dataclass(frozen=True)
@@ -41,8 +41,33 @@ class OnlineRunResult:
     total_objects: int
 
     @property
+    def block_sizes(self) -> tuple[int, ...]:
+        """Actual object count behind each block average.
+
+        Every block holds ``block_size`` objects except a trailing partial
+        block with the remainder of the stream.
+        """
+        full, remainder = divmod(self.total_objects, self.block_size)
+        sizes = [self.block_size] * full
+        if remainder:
+            sizes.append(remainder)
+        return tuple(sizes)
+
+    @property
     def overall_cost(self) -> float:
-        return sum(self.block_costs) / len(self.block_costs)
+        """Average queries per object over the whole trace.
+
+        Blocks are weighted by their actual object counts: an unweighted
+        mean of block averages would over-weight a final partial block
+        (e.g. 7 objects streamed with ``block_size=5`` would count the
+        2-object tail as much as the 5-object head).
+        """
+        sizes = self.block_sizes
+        if len(sizes) != len(self.block_costs):
+            # Defensive: a hand-built result with inconsistent fields.
+            return sum(self.block_costs) / len(self.block_costs)
+        total = sum(s * c for s, c in zip(sizes, self.block_costs))
+        return total / sum(sizes)
 
 
 def simulate_online_labeling(
@@ -82,7 +107,10 @@ def simulate_online_labeling(
                 # so recompile — lazily, paying only for the served paths.
                 plan = LazyPlan(policy, hierarchy, learner.snapshot())
             oracle = ExactOracle(hierarchy, category)
-            result = run_search(plan, oracle, hierarchy)
+            # One shared session loop (repro.serve.runtime) serves each
+            # object — the same runtime behind run_search, the console,
+            # and the streaming server.
+            result = SessionRuntime(plan, hierarchy).run(oracle)
             if result.returned != category:
                 raise SearchError(
                     f"online search returned {result.returned!r} "

@@ -31,6 +31,7 @@ from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
+from repro.core.session import default_budget
 from repro.exceptions import BudgetExceededError, SearchError
 from repro.plan.plan import NO_PATH, CompiledPlan
 
@@ -121,7 +122,7 @@ def compile_policy(
         key = plan_key(policy, hierarchy, distribution, model)
     else:
         key = ""
-    budget = max_depth if max_depth is not None else 2 * hierarchy.n + 10
+    budget = default_budget(hierarchy, max_depth)
     builder = _Builder(policy.name)
     if policy.supports_undo:
         _undo_walk(policy, hierarchy, distribution, model, budget, validate, builder)

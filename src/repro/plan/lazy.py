@@ -25,6 +25,7 @@ from repro.core.costs import QueryCostModel
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro.core.policy import Policy
+from repro.core.session import default_budget
 from repro.exceptions import BudgetExceededError
 from repro.plan.compile import resolve_config
 from repro.plan.plan import SearchCursor
@@ -64,9 +65,7 @@ class LazyPlan:
         self._policy = policy
         self._distribution = distribution
         self._model = model
-        self._budget = (
-            max_depth if max_depth is not None else 2 * hierarchy.n + 10
-        )
+        self._budget = default_budget(hierarchy, max_depth)
         self._query: list[int] = []
         self._yes: list[int] = []
         self._no: list[int] = []

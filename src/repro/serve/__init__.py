@@ -1,0 +1,36 @@
+"""The unified session runtime and the streaming serving layer.
+
+Two layers, one loop:
+
+* :class:`SessionRuntime` — the single propose/observe/undo/done engine
+  behind every interactive surface (``run_search``, the online labelling
+  simulator, the console, and the server below).  One session, driven one
+  protocol step at a time.
+
+* :class:`Server` — many concurrent sessions, micro-batched per shared
+  :class:`~repro.plan.CompiledPlan` and advanced with vectorized steps
+  over the plan's flat arrays, behind admission control (in-flight cap,
+  bounded queue, typed rejection) and per-tenant plan quotas optionally
+  backed by the persistent evaluation pool's shared-memory registry
+  (:class:`~repro.engine.pool.EvaluationPool`, whose streaming mode the
+  server can offload batches to).
+
+See the README's "Serving sessions at scale" section for the workflow and
+``benchmarks/bench_serve.py`` for the throughput acceptance gate.
+"""
+
+from repro.serve.runtime import SessionRuntime
+from repro.serve.server import (
+    Server,
+    ServerStats,
+    SessionOutcome,
+    SessionRequest,
+)
+
+__all__ = [
+    "Server",
+    "ServerStats",
+    "SessionOutcome",
+    "SessionRequest",
+    "SessionRuntime",
+]

@@ -1,0 +1,1022 @@
+"""Streaming session server: micro-batched serving of concurrent searches.
+
+The production shape of the paper's protocol: many users are *simultaneously*
+inside interactive searches over a handful of shared compiled plans.  Serving
+them one ``run_search`` at a time wastes the structure — every session step
+is the same gather over the same plan arrays.  :class:`Server` exploits it:
+
+* **Micro-batching.**  In-flight sessions are grouped by plan.  One
+  :meth:`step` advances *every* session in a group by one question with
+  three numpy gathers (current nodes -> queries, batched exact-oracle
+  answers via :func:`repro.engine.vector.make_answerer`, answers -> child
+  nodes) — the per-question cost is amortised over the whole batch instead
+  of paid per session.  Transcripts, prices, and budgets come out
+  byte-identical to per-session :class:`~repro.serve.runtime.SessionRuntime`
+  driving (``benchmarks/bench_serve.py`` asserts it, at a >= 5x
+  sessions/sec floor).
+
+* **Admission control.**  At most ``max_sessions`` sessions are in flight;
+  beyond that, :meth:`submit` parks requests in a bounded queue
+  (``queue_limit``) and then sheds load with a typed
+  :class:`~repro.exceptions.AdmissionError` instead of growing without
+  bound.  The iterator feed (:meth:`serve` / :meth:`aserve`) applies
+  backpressure instead — it simply stops pulling while full.
+
+* **Per-tenant plan quotas.**  Each tenant may have at most ``plan_quota``
+  distinct plans registered concurrently
+  (:class:`~repro.exceptions.QuotaExceededError` beyond it).  With a
+  persistent :class:`~repro.engine.pool.EvaluationPool` attached, a
+  registration *pins* the plan's shared-memory segment in the pool's
+  refcounted registry (and release unpins it), so the quota is backed by —
+  and bounded by — real shared memory, and batches can be offloaded to the
+  pool's streaming mode (:meth:`~repro.engine.pool.EvaluationPool.stream`)
+  instead of stepping locally.
+
+Sessions whose ground truth is known (``target=``) take the vectorized
+path; sessions driven by an arbitrary :class:`~repro.core.oracle.Oracle`
+fall back to a per-session :class:`SessionRuntime` stepped once per tick —
+both finish through the same :class:`~repro.core.session.SearchResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import QueryCostModel, UnitCost
+from repro.core.oracle import Oracle
+from repro.core.session import SearchResult, default_budget
+from repro.exceptions import (
+    AdmissionError,
+    BudgetExceededError,
+    PoolError,
+    QuotaExceededError,
+    ReproError,
+    SearchError,
+    ServeError,
+)
+from repro.plan.plan import NO_PATH, ROOT, CompiledPlan
+from repro.serve.runtime import SessionRuntime
+
+__all__ = ["Server", "ServerStats", "SessionOutcome", "SessionRequest"]
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One session to serve.
+
+    Exactly one of ``target`` (vectorized exact-oracle serving — the
+    labelling-service shape, where the answer source is reachability of the
+    true category) or ``oracle`` (arbitrary answer source, stepped
+    per-session) must be given.  ``plan`` defaults to the server's default
+    plan.
+    """
+
+    session_id: Hashable
+    target: Hashable | None = None
+    oracle: Oracle | None = None
+    plan: CompiledPlan | None = None
+    tenant: str = "default"
+
+
+@dataclass
+class SessionOutcome:
+    """How one submitted session ended: a result, or a typed error.
+
+    (A plain mutable dataclass: outcomes are created once per session on
+    the serving hot path, where frozen-dataclass ``__setattr__`` overhead
+    is measurable.)
+    """
+
+    session_id: Hashable
+    tenant: str
+    result: SearchResult | None
+    error: ReproError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ServerStats:
+    """Counters over a server's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errored: int = 0
+    steps: int = 0
+    peak_in_flight: int = 0
+    #: Sessions served through a pool stream rather than local stepping.
+    offloaded: int = 0
+    tenants: set = field(default_factory=set)
+
+
+# ----------------------------------------------------------------------
+# Plan execution index: everything serving needs beyond the raw arrays
+# ----------------------------------------------------------------------
+class _PlanIndex:
+    """Per-plan serving index: parents, depths, prices, transcript cache.
+
+    A compiled plan stores child links; serving finished sessions needs the
+    *reverse* direction — walk a leaf back to the root to reconstruct the
+    transcript — plus per-node depth and accumulated price.  Built once per
+    (plan, cost model) and shared by every session the server ever runs on
+    that plan.  Prices accumulate root-to-leaf in the same order
+    ``SessionRuntime.observe`` adds them, so totals are bit-identical.
+    """
+
+    __slots__ = (
+        "plan",
+        "hierarchy",
+        "parent",
+        "from_yes",
+        "depth",
+        "price",
+        "query_label",
+        "target_label",
+        "_answerer",
+        "_transcripts",
+        "_entry",
+        "_leaf_by_target",
+    )
+
+    def __init__(self, plan: CompiledPlan, model: QueryCostModel) -> None:
+        self.plan = plan
+        hierarchy = plan.hierarchy
+        self.hierarchy = hierarchy
+        num = plan.num_nodes
+        yes = plan.yes_child
+        no = plan.no_child
+        query = plan.query_ix
+        target = plan.target_ix
+        price_vec = model.as_array(hierarchy)
+
+        # Reverse links: one vectorized scatter per direction (every plan
+        # node has at most one parent — plans are trees over answer
+        # prefixes).
+        parent = np.full(num, -1, dtype=np.int64)
+        from_yes = np.zeros(num, dtype=bool)
+        internal = np.nonzero(query >= 0)[0]
+        yes_children = yes[internal]
+        linked = yes_children >= 0
+        parent[yes_children[linked]] = internal[linked]
+        from_yes[yes_children[linked]] = True
+        no_children = no[internal]
+        linked = no_children >= 0
+        parent[no_children[linked]] = internal[linked]
+
+        # Depth and accumulated price, one vectorized wave per plan level
+        # (prices add root-to-leaf in the same order sessions pay them, so
+        # totals are bit-identical to sequential accumulation).
+        depth = np.zeros(num, dtype=np.int64)
+        price = np.zeros(num, dtype=float)
+        wave = np.array([ROOT], dtype=np.int64)
+        level = 0
+        while wave.size:
+            asking = wave[query[wave] >= 0]
+            if not asking.size:
+                break
+            children = np.concatenate([yes[asking], no[asking]])
+            step_price = price[asking] + price_vec[query[asking]]
+            step_price = np.concatenate([step_price, step_price])
+            keep = children >= 0
+            children = children[keep]
+            price[children] = step_price[keep]
+            level += 1
+            depth[children] = level
+            wave = children
+
+        label_list = list(hierarchy.nodes)
+        self.query_label = [
+            label_list[q] if q >= 0 else None for q in query.tolist()
+        ]
+        self.target_label = [
+            label_list[t] if t >= 0 else None for t in target.tolist()
+        ]
+        # Python lists for the per-session hot path (transcript walks and
+        # leaf settlement do scalar lookups; list indexing beats numpy
+        # scalar extraction several-fold there).
+        self.parent = parent.tolist()
+        self.from_yes = from_yes.tolist()
+        self.depth = depth.tolist()
+        self.price = price.tolist()
+        self._answerer = None
+        self._transcripts: dict[int, tuple] = {}
+        #: Per-node ``(query, answer)`` transcript entry, built on first
+        #: use and shared by every transcript crossing the node.
+        self._entry: list[tuple | None] = [None] * num
+        self._leaf_by_target: dict[int, int] | None = None
+
+    @property
+    def answerer(self):
+        """The batched exact-oracle kernel, built on first vectorized step.
+
+        Lazy because it can materialise an ``n^2``-shaped reachability
+        index on large DAGs — a cost an oracle-only or never-used plan
+        registration should not pay.  Sized to ``hierarchy.n`` (the
+        serving ceiling): a server steps the kernel thousands of times,
+        so the one-time index build amortises where a per-batch sizing
+        would pick the slow per-membership fallback.
+        """
+        if self._answerer is None:
+            from repro.engine.vector import make_answerer
+
+            hierarchy = self.hierarchy
+            self._answerer = make_answerer(hierarchy, hierarchy.n)
+        return self._answerer
+
+    def transcript_of(self, leaf: int) -> tuple:
+        """The ``(query, answer)`` transcript ending at ``leaf``.
+
+        One walk up the parent links per distinct leaf; the per-node
+        entry tuples are built once ever and shared by every transcript
+        crossing the node, and finished transcripts memoize per leaf.
+        """
+        cache = self._transcripts
+        transcript = cache.get(leaf)
+        if transcript is not None:
+            return transcript
+        parent = self.parent
+        from_yes = self.from_yes
+        qlabel = self.query_label
+        entry = self._entry
+        path = []
+        push = path.append
+        node = leaf
+        while True:
+            up = parent[node]
+            if up < 0:
+                break
+            e = entry[node]
+            if e is None:
+                e = entry[node] = (qlabel[up], from_yes[node])
+            push(e)
+            node = up
+        path.reverse()
+        transcript = tuple(path)
+        cache[leaf] = transcript
+        return transcript
+
+    def result_at(self, leaf: int, *, transcript: bool = True) -> SearchResult:
+        """The finished :class:`SearchResult` of a session sitting on a leaf."""
+        return SearchResult(
+            returned=self.target_label[leaf],
+            num_queries=self.depth[leaf],
+            total_price=self.price[leaf],
+            transcript=self.transcript_of(leaf) if transcript else (),
+        )
+
+    def leaf_of_target(self, target_ix: int) -> int:
+        """Plan leaf identifying ``target_ix`` (full plans biject)."""
+        if self._leaf_by_target is None:
+            self._leaf_by_target = {
+                t: node
+                for node, t in enumerate(self.plan.target_ix.tolist())
+                if t >= 0
+            }
+        leaf = self._leaf_by_target.get(int(target_ix))
+        if leaf is None:
+            raise SearchError(
+                f"plan of {self.plan.policy_name!r} has no leaf for target "
+                f"{self.hierarchy.label(target_ix)!r}"
+            )
+        return leaf
+
+
+# ----------------------------------------------------------------------
+# One plan's micro-batch of live sessions
+# ----------------------------------------------------------------------
+class _PlanGroup:
+    """All in-flight sessions sharing one plan, stepped as numpy arrays."""
+
+    def __init__(self, key, plan, index, budget, stream=None) -> None:
+        self.key = key
+        self.plan = plan
+        self.index = index
+        self.budget = budget
+        #: Pool streaming offload (None = step locally).  Reset to None —
+        #: degrading the group to local stepping — if the pool dies.
+        self.stream = stream
+        self.tenants: set = set()
+        # Vectorized cohort: aligned per-session state.
+        self.meta: list[SessionRequest] = []
+        self.nodes = np.empty(0, dtype=np.int64)
+        self.targets = np.empty(0, dtype=np.int64)
+        self.depths = np.empty(0, dtype=np.int64)
+        # Sessions admitted since the last step, not yet merged.
+        self.incoming: list[tuple[SessionRequest, int]] = []
+        # Sessions that must (re)run on the local path: a pool batch that
+        # failed falls back here so only the offending session errors.
+        self.retry: list[tuple[SessionRequest, int]] = []
+        # Scalar cohort: oracle-driven sessions, one runtime each.
+        self.scalar: list[tuple[SessionRequest, SessionRuntime]] = []
+        # Pool-offload bookkeeping: ticket -> submitted requests.
+        self.tickets: dict[int, list[tuple[SessionRequest, int]]] = {}
+
+    @property
+    def in_flight(self) -> int:
+        return (
+            len(self.meta)
+            + len(self.incoming)
+            + len(self.retry)
+            + len(self.scalar)
+            + sum(len(v) for v in self.tickets.values())
+        )
+
+    def admit(self, request: SessionRequest, target_ix: int | None) -> None:
+        if target_ix is None:
+            # Arbitrary oracle: a per-session runtime, stepped per tick.
+            runtime = SessionRuntime(
+                self.plan, self.index.hierarchy, max_queries=self.budget
+            )
+            self.scalar.append((request, runtime))
+        else:
+            self.incoming.append((request, target_ix))
+
+    # ------------------------------------------------------------------
+    # Local vectorized stepping
+    # ------------------------------------------------------------------
+    def _merge_incoming(self) -> None:
+        # `incoming` is consumed by dispatch_stream first when a stream is
+        # attached, so merging it here only picks up local-mode admissions
+        # (and everything, once a dead pool degraded the group to local).
+        fresh = self.incoming + self.retry
+        if not fresh:
+            return
+        self.incoming.clear()
+        self.retry.clear()
+        fresh_meta = [request for request, _ in fresh]
+        fresh_targets = np.fromiter(
+            (ix for _, ix in fresh), dtype=np.int64, count=len(fresh)
+        )
+        self.meta.extend(fresh_meta)
+        self.nodes = np.concatenate(
+            [self.nodes, np.full(len(fresh_meta), ROOT, dtype=np.int64)]
+        )
+        self.targets = np.concatenate([self.targets, fresh_targets])
+        self.depths = np.concatenate(
+            [self.depths, np.zeros(len(fresh_meta), dtype=np.int64)]
+        )
+
+    def step_local(self, record_transcripts: bool) -> list[SessionOutcome]:
+        """Advance every vectorized session one question; settle finishers."""
+        self._merge_incoming()
+        outcomes: list[SessionOutcome] = []
+        if not self.meta and not self.scalar:
+            return outcomes
+        if self.meta:
+            plan = self.plan
+            index = self.index
+            nodes = self.nodes
+            # Sessions already on a leaf at admission (single-node plans).
+            # Everyone else answers one question.
+            queries = plan.query_ix[nodes]
+            open_mask = queries >= 0
+            if open_mask.all():
+                answers = index.answerer(queries, self.targets)
+                children = np.where(
+                    answers, plan.yes_child[nodes], plan.no_child[nodes]
+                )
+                self.depths += 1
+            else:
+                # Mixed leaf/internal cohort: step only the open sessions.
+                children = nodes.copy()
+                open_ix = np.nonzero(open_mask)[0]
+                answers = index.answerer(
+                    queries[open_ix], self.targets[open_ix]
+                )
+                children[open_ix] = np.where(
+                    answers,
+                    plan.yes_child[nodes[open_ix]],
+                    plan.no_child[nodes[open_ix]],
+                )
+                self.depths[open_ix] += 1
+            broken = children == NO_PATH
+            # NO_PATH is a negative sentinel: mask it out before indexing
+            # the target array (fancy indexing would wrap around).
+            safe_children = np.where(broken, ROOT, children)
+            settled = (plan.target_ix[safe_children] >= 0) & ~broken
+            over_budget = ~settled & ~broken & (self.depths >= self.budget)
+            finishing = settled | broken | over_budget
+            if finishing.any():
+                positions = np.nonzero(finishing)[0].tolist()
+                leaves = children[finishing].tolist()
+                meta = self.meta
+                append = outcomes.append
+                result_at = index.result_at
+                if broken.any() or over_budget.any():
+                    # Slow path: mixed good/failed finishers.
+                    broken_l = broken.tolist()
+                    over_l = over_budget.tolist()
+                    for pos, leaf in zip(positions, leaves):
+                        request = meta[pos]
+                        if broken_l[pos]:
+                            append(
+                                SessionOutcome(
+                                    request.session_id,
+                                    request.tenant,
+                                    None,
+                                    SearchError(
+                                        f"session {request.session_id!r}: "
+                                        "the oracle's answers are "
+                                        "inconsistent with every remaining "
+                                        "target"
+                                    ),
+                                )
+                            )
+                        elif over_l[pos]:
+                            append(
+                                SessionOutcome(
+                                    request.session_id,
+                                    request.tenant,
+                                    None,
+                                    BudgetExceededError(
+                                        f"session {request.session_id!r} "
+                                        "exceeded the query budget of "
+                                        f"{self.budget} questions"
+                                    ),
+                                )
+                            )
+                        else:
+                            append(
+                                SessionOutcome(
+                                    request.session_id,
+                                    request.tenant,
+                                    result_at(
+                                        leaf, transcript=record_transcripts
+                                    ),
+                                )
+                            )
+                else:
+                    for pos, leaf in zip(positions, leaves):
+                        request = meta[pos]
+                        append(
+                            SessionOutcome(
+                                request.session_id,
+                                request.tenant,
+                                result_at(leaf, transcript=record_transcripts),
+                            )
+                        )
+                keep = ~finishing
+                keep_l = keep.tolist()
+                self.meta = [m for m, k in zip(meta, keep_l) if k]
+                self.nodes = children[keep]
+                self.targets = self.targets[keep]
+                self.depths = self.depths[keep]
+            else:
+                self.nodes = children
+        outcomes.extend(self._step_scalar())
+        return outcomes
+
+    def _step_scalar(self) -> list[SessionOutcome]:
+        """One question for each oracle-driven session."""
+        outcomes: list[SessionOutcome] = []
+        still_open: list[tuple[SessionRequest, SessionRuntime]] = []
+        for request, runtime in self.scalar:
+            try:
+                if not runtime.done():
+                    query = runtime.propose()
+                    runtime.observe(request.oracle.answer(query))
+                if runtime.done():
+                    outcomes.append(
+                        SessionOutcome(
+                            request.session_id, request.tenant, runtime.result()
+                        )
+                    )
+                else:
+                    still_open.append((request, runtime))
+            except ReproError as exc:
+                outcomes.append(
+                    SessionOutcome(request.session_id, request.tenant, None, exc)
+                )
+        self.scalar = still_open
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Pool streaming offload
+    # ------------------------------------------------------------------
+    def _degrade_to_local(self) -> None:
+        """The pool is gone: serve everything on the local path instead."""
+        for batch in self.tickets.values():
+            self.retry.extend(batch)
+        self.tickets.clear()
+        if self.stream is not None:
+            try:
+                self.stream.close()
+            except ReproError:
+                pass
+            self.stream = None
+
+    def dispatch_stream(self) -> None:
+        """Ship the sessions admitted since the last tick as one batch."""
+        if not self.incoming or self.stream is None:
+            return
+        batch = list(self.incoming)
+        self.incoming.clear()
+        targets = np.fromiter(
+            (ix for _, ix in batch), dtype=np.int64, count=len(batch)
+        )
+        try:
+            ticket = self.stream.submit(targets)
+        except PoolError:
+            self.retry.extend(batch)
+            self._degrade_to_local()
+            return
+        self.tickets[ticket] = batch
+
+    def collect_stream(self, record_transcripts: bool) -> list[SessionOutcome]:
+        """Outcomes for every batch the pool finished so far.
+
+        A *failed* batch (one session's budget blows up the whole walk)
+        falls back to the local vectorized path, which errors exactly the
+        offending sessions and completes the rest — the same per-session
+        contract as a server without a pool.  A *dead* pool (workers gone
+        past the respawn budget) degrades the group to local stepping
+        outright; the server never dies on a session or pool failure.
+        """
+        outcomes: list[SessionOutcome] = []
+        if not self.tickets:
+            return outcomes
+        try:
+            done_batches = self.stream.poll(raise_errors=False)
+        except PoolError:
+            self._degrade_to_local()
+            return outcomes
+        for done in done_batches:
+            batch = self.tickets.pop(done.ticket, None)
+            if batch is None:
+                continue
+            if done.error is not None:
+                # Re-run this batch's sessions locally for per-session
+                # error attribution (batch granularity would blame every
+                # co-batched session for one offender).
+                self.retry.extend(batch)
+                continue
+            # Per-target costs from the workers; transcripts (if wanted)
+            # assembled locally from the same plan structure.
+            position = {int(t): i for i, t in enumerate(done.target_ix)}
+            for request, target_ix in batch:
+                i = position[target_ix]
+                leaf = self.index.leaf_of_target(target_ix)
+                transcript = (
+                    self.index.transcript_of(leaf) if record_transcripts else ()
+                )
+                outcomes.append(
+                    SessionOutcome(
+                        request.session_id,
+                        request.tenant,
+                        SearchResult(
+                            returned=self.index.target_label[leaf],
+                            num_queries=int(done.queries[i]),
+                            total_price=float(done.prices[i]),
+                            transcript=transcript,
+                        ),
+                    )
+                )
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class Server:
+    """Serve a stream of interactive sessions, micro-batched per plan.
+
+    Parameters
+    ----------
+    plan:
+        Default plan for requests that do not name one.
+    max_sessions:
+        In-flight session cap (admission control).
+    queue_limit:
+        Waiting-queue bound; :meth:`submit` raises
+        :class:`~repro.exceptions.AdmissionError` beyond it.
+    plan_quota:
+        Max distinct plans registered per tenant at once (``None`` =
+        unlimited); :class:`~repro.exceptions.QuotaExceededError` beyond
+        it.
+    cost_model, max_queries:
+        Session pricing and budget, as in ``run_search``.
+    pool:
+        Optional persistent :class:`~repro.engine.pool.EvaluationPool`.
+        Plan registrations pin segments in its refcounted registry, and
+        exact-target sessions are offloaded as streaming batches
+        (:meth:`EvaluationPool.stream`) instead of stepping locally.
+    record_transcripts:
+        Attach full transcripts to results (byte-identical to
+        ``run_search``).  Turning this off skips transcript assembly for
+        throughput-only serving.
+    """
+
+    def __init__(
+        self,
+        plan: CompiledPlan | None = None,
+        *,
+        max_sessions: int = 1024,
+        queue_limit: int = 4096,
+        plan_quota: int | None = None,
+        cost_model: QueryCostModel | None = None,
+        max_queries: int | None = None,
+        pool=None,
+        record_transcripts: bool = True,
+    ) -> None:
+        if max_sessions < 1:
+            raise ServeError(f"max_sessions must be >= 1, got {max_sessions}")
+        if queue_limit < 0:
+            raise ServeError(f"queue_limit must be >= 0, got {queue_limit}")
+        if plan_quota is not None and plan_quota < 1:
+            raise ServeError(f"plan_quota must be >= 1, got {plan_quota}")
+        self.max_sessions = int(max_sessions)
+        self.queue_limit = int(queue_limit)
+        self.plan_quota = plan_quota
+        self.model = cost_model or UnitCost()
+        self.max_queries = max_queries
+        self.pool = pool
+        self.record_transcripts = bool(record_transcripts)
+        self.default_plan = plan
+        self.stats = ServerStats()
+        self._groups: dict[object, _PlanGroup] = {}
+        self._tenant_plans: dict[str, set] = {}
+        self._pinned: list[str] = []
+        self._queue: deque[SessionRequest] = deque()
+        #: Cached in-flight count (admission is per-request hot path).
+        self._active = 0
+        self._closed = False
+        if plan is not None:
+            self.register_plan(plan)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close pool streams and release pinned plan segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for group in self._groups.values():
+            if group.stream is not None:
+                group.stream.close()
+        if self.pool is not None and not self.pool.closed:
+            for key in self._pinned:
+                try:
+                    self.pool.release(key)
+                except ReproError:
+                    pass
+        self._pinned.clear()
+        self._groups.clear()
+        self._queue.clear()
+        self._active = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Plans and quotas
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_key(plan: CompiledPlan):
+        return plan.config_key or id(plan)
+
+    def register_plan(self, plan: CompiledPlan, tenant: str = "default"):
+        """Register (and, with a pool, pin) a plan for a tenant.
+
+        Idempotent per (plan, tenant).  Counts against the tenant's
+        ``plan_quota``; with a pool attached the plan's arrays are
+        published into shared memory *pinned*, so the quota is backed by
+        the pool's refcounted registry — a registration is real memory,
+        and :meth:`release_plan` returns it.
+        """
+        if self._closed:
+            raise ServeError("the server is closed")
+        key = self._plan_key(plan)
+        held = self._tenant_plans.setdefault(tenant, set())
+        if key in held:
+            return key
+        if self.plan_quota is not None and len(held) >= self.plan_quota:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already holds {len(held)} plan(s) "
+                f"(quota {self.plan_quota}); release one or raise the quota"
+            )
+        group = self._groups.get(key)
+        if group is None:
+            index = _PlanIndex(plan, self.model)
+            budget = default_budget(plan.hierarchy, self.max_queries)
+            stream = None
+            if self.pool is not None:
+                stream = self.pool.stream(
+                    plan,
+                    plan.hierarchy,
+                    cost_model=self.model,
+                    max_queries=budget,
+                )
+            group = _PlanGroup(key, plan, index, budget, stream)
+            self._groups[key] = group
+        if self.pool is not None and plan.config_key:
+            self.pool.publish(plan, pin=True)
+            self._pinned.append(plan.config_key)
+        held.add(key)
+        group.tenants.add(tenant)
+        self.stats.tenants.add(tenant)
+        return key
+
+    def release_plan(self, plan: CompiledPlan, tenant: str = "default") -> None:
+        """Drop a tenant's registration (and its pool pin)."""
+        key = self._plan_key(plan)
+        held = self._tenant_plans.get(tenant, set())
+        if key not in held:
+            raise ServeError(
+                f"tenant {tenant!r} has no registration for plan "
+                f"{plan.policy_name!r}"
+            )
+        group = self._groups.get(key)
+        if group is not None and group.in_flight:
+            raise ServeError(
+                f"plan {plan.policy_name!r} still has {group.in_flight} "
+                "session(s) in flight; drain before releasing"
+            )
+        held.discard(key)
+        if self.pool is not None and plan.config_key:
+            self.pool.release(plan.config_key)
+            self._pinned.remove(plan.config_key)
+        if group is not None:
+            group.tenants.discard(tenant)
+            if not group.tenants:
+                if group.stream is not None:
+                    group.stream.close()
+                del self._groups[key]
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Sessions currently being served (excludes the waiting queue)."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Sessions parked in the waiting queue."""
+        return len(self._queue)
+
+    def _resolve(self, request: SessionRequest) -> tuple[_PlanGroup, int | None]:
+        plan = request.plan or self.default_plan
+        if plan is None:
+            raise ServeError(
+                f"session {request.session_id!r} names no plan and the "
+                "server has no default plan"
+            )
+        if (request.target is None) == (request.oracle is None):
+            raise ServeError(
+                f"session {request.session_id!r} must set exactly one of "
+                "target= or oracle="
+            )
+        key = self._plan_key(plan)
+        held = self._tenant_plans.get(request.tenant, set())
+        if key not in held:
+            # Implicit registration on first use — the quota check happens
+            # inside, so an over-quota tenant gets a typed rejection.
+            self.register_plan(plan, request.tenant)
+        group = self._groups[key]
+        target_ix = None
+        if request.target is not None:
+            target_ix = group.index.hierarchy.index(request.target)
+        return group, target_ix
+
+    def submit(self, request: SessionRequest) -> None:
+        """Admit a session, queue it, or reject it (typed).
+
+        Raises :class:`~repro.exceptions.QuotaExceededError` when the
+        request needs a plan registration its tenant has no quota for, and
+        :class:`~repro.exceptions.AdmissionError` when both the in-flight
+        capacity and the waiting queue are full — the producer should back
+        off.
+        """
+        if self._closed:
+            raise ServeError("the server is closed")
+        try:
+            if self.in_flight >= self.max_sessions:
+                if len(self._queue) >= self.queue_limit:
+                    raise AdmissionError(
+                        f"server at capacity: {self.in_flight} session(s) in "
+                        f"flight (max {self.max_sessions}) and "
+                        f"{len(self._queue)} queued (limit {self.queue_limit})"
+                    )
+                # Validate plan/quota *now* so a doomed request is rejected
+                # at submission, not when it surfaces from the queue.
+                self._resolve(request)
+                self._queue.append(request)
+                self.stats.submitted += 1
+                return
+            group, target_ix = self._resolve(request)
+        except AdmissionError:
+            self.stats.rejected += 1
+            raise
+        group.admit(request, target_ix)
+        self._active += 1
+        self.stats.submitted += 1
+        if self._active > self.stats.peak_in_flight:
+            self.stats.peak_in_flight = self._active
+
+    def _admit_from_queue(self) -> None:
+        while self._queue and self._active < self.max_sessions:
+            request = self._queue.popleft()
+            group, target_ix = self._resolve(request)
+            group.admit(request, target_ix)
+            self._active += 1
+            if self._active > self.stats.peak_in_flight:
+                self.stats.peak_in_flight = self._active
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> list[SessionOutcome]:
+        """Advance every in-flight session one question; return finishers.
+
+        Pool-offloaded groups dispatch newly admitted sessions as a
+        streaming batch and collect whatever the workers finished; local
+        groups take one vectorized step.  Freed capacity admits queued
+        sessions for the *next* tick.
+        """
+        if self._closed:
+            raise ServeError("the server is closed")
+        outcomes: list[SessionOutcome] = []
+        for group in self._groups.values():
+            if group.stream is not None:
+                group.dispatch_stream()
+                collected = group.collect_stream(self.record_transcripts)
+                self.stats.offloaded += sum(1 for o in collected if o.ok)
+                outcomes.extend(collected)
+            # Local stepping always runs: it is the whole story without a
+            # pool, and beside a stream it serves oracle-driven sessions
+            # plus any batch that fell back for per-session attribution.
+            outcomes.extend(group.step_local(self.record_transcripts))
+        self.stats.steps += 1
+        self._active -= len(outcomes)
+        errored = sum(1 for o in outcomes if o.error is not None)
+        self.stats.errored += errored
+        self.stats.completed += len(outcomes) - errored
+        self._admit_from_queue()
+        return outcomes
+
+    def drain(self) -> list[SessionOutcome]:
+        """Step until every admitted and queued session finished."""
+        outcomes: list[SessionOutcome] = []
+        idle_ticks = 0
+        while self.in_flight or self._queue:
+            finished = self.step()
+            outcomes.extend(finished)
+            if finished:
+                idle_ticks = 0
+                continue
+            # Pool batches complete asynchronously: an empty tick while a
+            # batch is outstanding just means the workers are still
+            # walking — yield the CPU and keep waiting (worker deaths are
+            # detected and recovered inside the stream's poll, bounded by
+            # the pool's respawn budget, so this wait cannot hang on a
+            # dead pool).  The idle cap only guards the local path, where
+            # every tick must finish or advance someone — hitting it
+            # there is a bug, not load.
+            if any(group.tickets for group in self._groups.values()):
+                time.sleep(0.001)
+                continue
+            idle_ticks += 1
+            if idle_ticks > 10_000:
+                raise ServeError(
+                    f"server stalled with {self.in_flight} session(s) in "
+                    "flight making no progress"
+                )
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+    def serve(self, feed: Iterable[SessionRequest]):
+        """Serve an iterator feed; yield outcomes as sessions finish.
+
+        Applies *backpressure*: while the server is at capacity the feed is
+        simply not pulled (no load shedding — that is the
+        :meth:`submit`-side contract).  Quota violations surface as
+        rejected outcomes, not exceptions, so one bad tenant cannot stall
+        the feed.
+        """
+        if self._closed:
+            raise ServeError("the server is closed")
+        iterator = iter(feed)
+        exhausted = False
+        # Fast-path cache: most feeds are one tenant on the default plan;
+        # admitting those straight into the group's incoming list skips
+        # the per-request submit()/_resolve() machinery.
+        fast_tenant: str | None = None
+        fast_group: _PlanGroup | None = None
+        fast_index = None
+        stats = self.stats
+        while True:
+            while not exhausted and self._active < self.max_sessions:
+                try:
+                    request = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                if (
+                    request.tenant == fast_tenant
+                    and request.plan is None
+                    and request.target is not None
+                    and request.oracle is None
+                ):
+                    try:
+                        target_ix = fast_index(request.target)
+                    except ReproError as exc:  # unknown label: reject it
+                        stats.errored += 1
+                        yield SessionOutcome(
+                            request.session_id, request.tenant, None, exc
+                        )
+                        continue
+                    fast_group.incoming.append((request, target_ix))
+                    self._active += 1
+                    stats.submitted += 1
+                    if self._active > stats.peak_in_flight:
+                        stats.peak_in_flight = self._active
+                    continue
+                try:
+                    self.submit(request)
+                except ReproError as exc:
+                    # Quota (AdmissionError), unknown target, malformed
+                    # request: one bad request becomes one rejected
+                    # outcome; the feed — and the admitted sessions —
+                    # keep being served.
+                    if not isinstance(exc, AdmissionError):
+                        stats.errored += 1
+                    yield SessionOutcome(
+                        request.session_id, request.tenant, None, exc
+                    )
+                    continue
+                if request.plan is None and request.target is not None:
+                    fast_tenant = request.tenant
+                    fast_group = self._groups[self._plan_key(self.default_plan)]
+                    fast_index = fast_group.index.hierarchy.index
+            finished = self.step()
+            yield from finished
+            if not finished and any(
+                group.tickets for group in self._groups.values()
+            ):
+                time.sleep(0.001)  # pool workers are walking; don't spin
+            if exhausted and not self.in_flight and not self._queue:
+                return
+
+    async def aserve(self, feed):
+        """Async variant of :meth:`serve` for an ``async for`` feed."""
+        if self._closed:
+            raise ServeError("the server is closed")
+        iterator = feed.__aiter__()
+        exhausted = False
+        while True:
+            while not exhausted and self.in_flight < self.max_sessions:
+                try:
+                    request = await iterator.__anext__()
+                except StopAsyncIteration:
+                    exhausted = True
+                    break
+                try:
+                    self.submit(request)
+                except ReproError as exc:  # reject the request, not the feed
+                    if not isinstance(exc, AdmissionError):
+                        self.stats.errored += 1
+                    yield SessionOutcome(
+                        request.session_id, request.tenant, None, exc
+                    )
+            finished = self.step()
+            for outcome in finished:
+                yield outcome
+            if not finished:
+                import asyncio
+
+                # Yield to the loop (and nap if pool workers are walking).
+                await asyncio.sleep(
+                    0.001
+                    if any(g.tickets for g in self._groups.values())
+                    else 0
+                )
+            if exhausted and not self.in_flight and not self._queue:
+                return
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{self.in_flight} in flight, {len(self._queue)} queued"
+        )
+        return (
+            f"Server(plans={len(self._groups)}, "
+            f"max_sessions={self.max_sessions}, {state})"
+        )

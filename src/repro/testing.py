@@ -19,16 +19,37 @@ import numpy as np
 
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
+from repro.policies.random_policy import RandomPolicy
 
 __all__ = [
     "VEHICLE_EDGES",
     "VEHICLE_PROBS",
+    "ForcedReplayPolicy",
     "make_random_dag",
     "make_random_tree",
     "random_distribution",
     "vehicle_hierarchy",
     "vehicle_distribution",
 ]
+
+
+class ForcedReplayPolicy(RandomPolicy):
+    """A deterministic policy that *refuses* exact undo — for fallback tests.
+
+    Every registry policy now journals exact answer reversal, so nothing in
+    the registry exercises the engine's transcript-replay adapter or the
+    prefix-replay compile walk anymore.  This seeded clone of
+    :class:`~repro.policies.random_policy.RandomPolicy` keeps those paths
+    honest: same decisions as ``RandomPolicy(seed)``, but
+    ``supports_undo=False`` forces the engine to fall back to one
+    ``run_search`` per target and the compiler to prefix replay.
+    """
+
+    name = "Random(replay)"
+    supports_undo = False
+
+    def _apply_answer(self, query, answer) -> None:
+        self._cg.apply(query, answer)
 
 #: The paper's Fig. 1 vehicle hierarchy, used throughout the tests.
 VEHICLE_EDGES = [

@@ -32,12 +32,14 @@ from repro.testing import (
     random_distribution,
 )
 
-#: Policies that must take the one-pass compiled-plan walk.  CostGreedy and
-#: GreedyNaive journal their candidate-graph updates (exact undo), so CAIGS
-#: experiments amortise like the unit-cost ones; only the seeded random
-#: baseline still replays one search per target.
+#: Policies that must take the one-pass compiled-plan walk.  Every registry
+#: policy journals exact undo now — the seeded random baseline snapshots its
+#: generator state alongside the candidate-graph journal — so the whole
+#: registry compiles via the fast undo-DFS; the transcript-replay fallback
+#: is covered by ``repro.testing.ForcedReplayPolicy`` below.
 PLAN_POLICIES = (
     "topdown",
+    "random",
     "migs",
     "wigs",
     "greedy-tree",
@@ -79,6 +81,38 @@ class TestRegistryParityVehicle:
         )
         expected = "plan" if name in PLAN_POLICIES else "replay"
         assert engine.method == expected
+
+
+class TestForcedReplayFallback:
+    """The transcript-replay adapter stays alive even though no registry
+    policy needs it anymore (all journal exact undo, Random included)."""
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_forced_replay_matches_undo_path(self, seed):
+        from repro.testing import ForcedReplayPolicy
+        from repro.policies import RandomPolicy
+
+        hierarchy = make_random_tree(30, seed=seed)
+        distribution = random_distribution(hierarchy, seed)
+        replayed = _assert_parity(
+            ForcedReplayPolicy(seed=seed), hierarchy, distribution
+        )
+        assert replayed.method == "replay"
+        # Same decisions as the undo-journaled Random — the two execution
+        # paths must agree target by target.
+        compiled = simulate_all_targets(
+            RandomPolicy(seed=seed), hierarchy, distribution
+        )
+        assert compiled.method == "plan"
+        assert np.array_equal(replayed.queries, compiled.queries)
+
+    def test_random_compiles_via_undo_dfs(self, vehicle_hierarchy):
+        from repro.policies import RandomPolicy
+
+        policy = RandomPolicy(seed=3)
+        assert policy.supports_undo
+        engine = simulate_all_targets(policy, vehicle_hierarchy)
+        assert engine.method == "plan"
 
 
 class TestRegistryParityRandomGraphs:
@@ -181,10 +215,13 @@ class TestEngineResult:
 
 class TestUndoProtocol:
     def test_vector_policy_protocol(self):
+        from repro.testing import ForcedReplayPolicy
+
         policy = GreedyTreePolicy()
         assert isinstance(policy, VectorPolicy)
         assert is_vector_policy(policy)
-        assert not is_vector_policy(make_policy("random"))
+        assert is_vector_policy(make_policy("random"))
+        assert not is_vector_policy(ForcedReplayPolicy())
 
     def test_undo_restores_exact_state(self):
         hierarchy = make_random_tree(20, seed=1)
@@ -218,9 +255,30 @@ class TestUndoProtocol:
             policy.undo()
 
     def test_enable_undo_rejected_without_support(self):
-        policy = make_policy("random")
+        from repro.testing import ForcedReplayPolicy
+
+        policy = ForcedReplayPolicy()
         with pytest.raises(PolicyError, match="does not support undo"):
             policy.enable_undo(True)
+
+    def test_random_undo_restores_rng_stream(self):
+        """Undoing must rewind the generator too: after backtracking, the
+        policy draws exactly what a fresh run on the other branch draws."""
+        from repro.policies import RandomPolicy
+
+        hierarchy = make_random_tree(30, seed=5)
+        explorer = RandomPolicy(seed=9)
+        explorer.enable_undo(True)
+        explorer.reset(hierarchy, None)
+        first = explorer.propose()
+        explorer.observe(False)
+        downstream = explorer.propose()  # consumes generator words
+        explorer.observe(False)
+        explorer.undo()
+        explorer.undo()
+        assert explorer.propose() == first
+        explorer.observe(False)
+        assert explorer.propose() == downstream  # stream rewound exactly
 
     @pytest.mark.parametrize("name", ["cost-greedy", "greedy-naive"])
     def test_candidate_graph_undo_restores_exact_state(self, name):

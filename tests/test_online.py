@@ -73,6 +73,46 @@ class TestSimulation:
             block_size=5,
         )
         assert len(result.block_costs) == 2
+        assert result.block_sizes == (5, 2)
+
+    def test_overall_cost_weights_blocks_by_object_count(self):
+        """The trailing partial block must count per *object*, not per
+        block: 7 objects in blocks of 5 average over 7 objects, never as
+        an unweighted mean of the two block averages."""
+        from repro.online.simulate import OnlineRunResult
+
+        result = OnlineRunResult(
+            policy="p",
+            block_size=5,
+            block_costs=(2.0, 10.0),  # 5 objects at 2.0, 2 objects at 10.0
+            total_objects=7,
+        )
+        assert result.overall_cost == pytest.approx((5 * 2.0 + 2 * 10.0) / 7)
+        # An exact multiple keeps the plain mean.
+        full = OnlineRunResult(
+            policy="p",
+            block_size=5,
+            block_costs=(2.0, 10.0),
+            total_objects=10,
+        )
+        assert full.block_sizes == (5, 5)
+        assert full.overall_cost == pytest.approx(6.0)
+
+    def test_overall_cost_equals_total_queries_per_object(
+        self, vehicle_hierarchy, rng
+    ):
+        """End to end: overall_cost == (sum of all queries) / objects."""
+        catalog = Catalog(vehicle_hierarchy, {"Maxima": 9, "Sentra": 4})
+        result = simulate_online_labeling(
+            GreedyTreePolicy(),
+            vehicle_hierarchy,
+            catalog.stream(rng),
+            block_size=5,
+        )
+        total = sum(
+            s * c for s, c in zip(result.block_sizes, result.block_costs)
+        )
+        assert result.overall_cost == pytest.approx(total / 13)
 
     def test_validation(self, vehicle_hierarchy):
         with pytest.raises(SearchError):

@@ -245,13 +245,15 @@ class TestShardedEngine:
         _assert_same_result(sequential, sharded)
 
     def test_replay_policy_falls_back_sequential(self):
+        from repro.testing import ForcedReplayPolicy
+
         hierarchy = make_random_tree(25, seed=11)
         distribution = random_distribution(hierarchy, 11)
         sequential = simulate_all_targets(
-            make_policy("random"), hierarchy, distribution, jobs=1
+            ForcedReplayPolicy(seed=11), hierarchy, distribution, jobs=1
         )
         parallel = simulate_all_targets(
-            make_policy("random"), hierarchy, distribution, jobs=4
+            ForcedReplayPolicy(seed=11), hierarchy, distribution, jobs=4
         )
         assert parallel.method == "replay"
         _assert_same_result(sequential, parallel)
@@ -384,13 +386,15 @@ class TestEngineResultCache:
 
     def test_replay_policy_results_cached(self, tmp_path):
         """Seeded replay results are deterministic, so they cache too."""
+        from repro.testing import ForcedReplayPolicy
+
         hierarchy, distribution = self._config()
         cache = EngineResultCache(tmp_path)
         first = simulate_all_targets(
-            make_policy("random"), hierarchy, distribution, result_cache=cache
+            ForcedReplayPolicy(), hierarchy, distribution, result_cache=cache
         )
         second = simulate_all_targets(
-            make_policy("random"), hierarchy, distribution, result_cache=cache
+            ForcedReplayPolicy(), hierarchy, distribution, result_cache=cache
         )
         assert first.method == "replay"
         assert (cache.hits, cache.misses) == (1, 1)

@@ -596,9 +596,11 @@ class TestLazyPlan:
         assert CountingGreedy.calls == first_pass  # memoized: zero new work
 
     def test_undo_for_policies_without_native_undo(self):
+        from repro.testing import ForcedReplayPolicy
+
         hierarchy = make_random_tree(12, seed=33)
         distribution = random_distribution(hierarchy, 33)
-        lazy = LazyPlan(make_policy("random", seed=7), hierarchy, distribution)
+        lazy = LazyPlan(ForcedReplayPolicy(seed=7), hierarchy, distribution)
         cursor = lazy.start()
         first = cursor.propose()
         cursor.observe(True)

@@ -191,16 +191,18 @@ class TestOverlappedBatch:
     def test_replay_policy_mixes_into_batch(self, pool):
         """A non-compilable policy inside a batch takes its replay path
         while the others overlap — same numbers either way."""
+        from repro.testing import ForcedReplayPolicy
+
         hierarchy, distribution = _tree_config(n=40, seed=6)
         singles = [
             simulate_all_targets(
-                make_policy(name), hierarchy, distribution,
+                policy, hierarchy, distribution,
                 jobs=1, result_cache=False, pool=False,
             )
-            for name in ("greedy-tree", "random")
+            for policy in (make_policy("greedy-tree"), ForcedReplayPolicy())
         ]
         batch = simulate_policies(
-            [make_policy("greedy-tree"), make_policy("random")],
+            [make_policy("greedy-tree"), ForcedReplayPolicy()],
             hierarchy, distribution, result_cache=False, pool=pool,
         )
         assert batch[1].method == "replay"
