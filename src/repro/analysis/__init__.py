@@ -1,0 +1,34 @@
+"""repro.analysis — invariant linter + runtime sanitizers for this repo.
+
+Static half (``python -m repro.analysis`` / ``repro lint``): six
+AST-level rules encoding the invariants the plan/pool/serve stack is
+built on — exact undo (RPA001), compiled-plan immutability (RPA002),
+shared-memory lifecycle (RPA003), hot-path determinism (RPA004),
+process-boundary exception discipline (RPA005) and pickle hygiene
+(RPA006).  Diagnostics print as ``file:line: RPAxxx message``;
+suppression is inline (``# repro: noqa RPA003 - reason``) or via a
+committed baseline file.
+
+Runtime half (:mod:`repro.analysis.sanitize`, enabled with
+``REPRO_SANITIZE=1``): array freezing for the reachability caches, a
+shared-memory leak tracker asserted on pool/server close, and an
+undo-integrity checker that fingerprints policy state around the plan
+compiler's undo-DFS.  The linter proves what is provable from source;
+the sanitizers catch the path-sensitive remainder in tests.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import RULES, check_source, lint_paths
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "check_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,102 @@
+"""Command-line entry: ``python -m repro.analysis [paths]`` / ``repro lint``.
+
+Exit codes follow the usual linter convention: 0 when clean, 1 when
+diagnostics survive suppression, 2 on usage/configuration errors
+(unknown rule code, unreadable path, corrupt baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.diagnostics import write_baseline
+from repro.analysis.engine import RULES, lint_paths
+from repro.exceptions import AnalysisError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static invariant checks for the repro codebase "
+            "(exact undo, plan immutability, shm lifecycle, determinism, "
+            "process-boundary discipline, pickle hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="comma/space-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write surviving findings to FILE as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule codes and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    try:
+        findings = lint_paths(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=args.baseline,
+        )
+    except AnalysisError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        if not args.quiet:
+            print(
+                f"wrote {len(findings)} finding(s) to {args.write_baseline}"
+            )
+        return 0
+    for diag in findings:
+        print(diag.render())
+    if not args.quiet:
+        n = len(findings)
+        label = "finding" if n == 1 else "findings"
+        print(f"repro lint: {n} {label}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Diagnostics, ``noqa`` suppression, and the findings baseline.
+
+A :class:`Diagnostic` is one finding of the static-analysis pass
+(:mod:`repro.analysis.engine`): a rule code (``RPA001``..), a location, and
+a message, rendered in the classic ``file:line: CODE message`` shape that
+editors and CI log scrapers already understand.
+
+Two suppression mechanisms exist, with different intents:
+
+* **Inline noqa** — ``# repro: noqa RPA004 - <justification>`` on the
+  flagged line acknowledges an *intentional* violation in place, next to
+  the code it excuses.  Codes are mandatory (a blanket ``noqa`` that
+  silences every present and future rule hides too much); the justification
+  is free text for the reviewer.
+* **Baseline file** — a JSON inventory of *known* findings
+  (:func:`load_baseline` / :func:`write_baseline`) that lets the lint gate
+  be introduced on a codebase with pre-existing violations: baselined
+  findings are filtered out, anything new fails.  Entries are keyed by a
+  content fingerprint of (path, code, stripped source line), so findings
+  survive unrelated edits moving them up or down a file.  This repo ships
+  an **empty** baseline — every true positive was fixed at introduction —
+  but the mechanism is load-bearing for downstream forks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+
+#: Matches an inline suppression comment.  Codes are required; everything
+#: after them (``- why this is fine``) is the human justification.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b[:\s]*(?P<codes>RPA\d{3}(?:\s*,\s*RPA\d{3})*)",
+    re.IGNORECASE,
+)
+
+#: Baseline format tag.
+_BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+    #: Stripped text of the flagged source line (fingerprint input).
+    source_line: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this finding across line moves."""
+        digest = hashlib.sha256()
+        digest.update(self.path.encode())
+        digest.update(b"\x00")
+        digest.update(self.code.encode())
+        digest.update(b"\x00")
+        digest.update(self.source_line.strip().encode())
+        return digest.hexdigest()
+
+
+def noqa_codes(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Per-line (1-based) rule codes suppressed by inline noqa comments."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "noqa" not in text:  # cheap pre-filter
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+        )
+        out[lineno] = codes
+    return out
+
+
+def apply_noqa(
+    diagnostics: list[Diagnostic], suppressions: dict[int, frozenset[str]]
+) -> list[Diagnostic]:
+    """Drop diagnostics whose line carries a matching noqa comment."""
+    if not suppressions:
+        return diagnostics
+    return [
+        d
+        for d in diagnostics
+        if d.code not in suppressions.get(d.line, frozenset())
+    ]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path) -> frozenset[str]:
+    """Load the set of baselined finding fingerprints from ``path``.
+
+    Raises :class:`~repro.exceptions.AnalysisError` on unreadable or
+    foreign files — a torn baseline silently admitting new findings would
+    defeat the gate.
+    """
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {target}: {exc}") from exc
+    except ValueError as exc:
+        raise AnalysisError(f"corrupt baseline {target}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise AnalysisError(
+            f"{target} is not a repro-analysis baseline "
+            f"(expected version {_BASELINE_VERSION})"
+        )
+    return frozenset(str(entry) for entry in payload["entries"])
+
+
+def write_baseline(path, diagnostics: list[Diagnostic]) -> None:
+    """Persist the fingerprints of ``diagnostics`` as the new baseline."""
+    payload = {
+        "version": _BASELINE_VERSION,
+        "entries": sorted({d.fingerprint() for d in diagnostics}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: frozenset[str]
+) -> list[Diagnostic]:
+    """Drop diagnostics whose fingerprint is already baselined."""
+    if not baseline:
+        return diagnostics
+    return [d for d in diagnostics if d.fingerprint() not in baseline]

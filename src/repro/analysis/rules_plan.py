@@ -1,0 +1,232 @@
+"""RPA002 — compiled-plan immutability.
+
+A :class:`~repro.plan.CompiledPlan`'s four flat arrays — and the
+hierarchy's packed reachability block — are *shared* state: the persistent
+pool maps them as zero-copy ``np.frombuffer`` views over one shared-memory
+segment, so a single in-place write in any process corrupts the plan for
+every attached worker and every live cursor, silently.  The arrays are
+built read-only, but numpy's read-only flag can be flipped back and views
+can launder mutability, so the rule flags the write *sites*:
+
+* any assignment, item-store, or in-place op targeting a plan array
+  attribute (``query_ix``/``yes_child``/``no_child``/``target_ix`` or the
+  underlying ``_query``/``_yes``/``_no``/``_target`` slots) or the
+  hierarchy's ``_reach_bits`` block;
+* the same through a local alias — a name bound from a plan-array read,
+  ``payload_arrays()``, ``reachability_bits()``, ``reachability_matrix()``
+  or ``tree_intervals()`` — function-scope taint, one hop;
+* ``setflags(write=True)`` anywhere: un-freezing a frozen array is how
+  every "impossible" plan corruption starts.
+
+``plan/plan.py`` itself constructs the arrays (via ``object.__setattr__``
+before freezing, which this rule does not match), ``plan/lazy.py`` is the
+*incremental* constructor (its same-named slots are mutable Python lists,
+private to one process, by design), and ``core/hierarchy.py`` owns the
+``_reach_bits`` cache slot; rebinding that slot there is its build/adopt
+path, not a mutation of published bytes.  ``self.<attr> = ...`` inside an
+``__init__`` is likewise exempt — a class binding its *own* attribute of
+the same name (e.g. a result record with a ``target_ix`` field) is
+construction, not mutation of a plan.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_attr
+from repro.analysis.diagnostics import Diagnostic
+
+CODES = {
+    "RPA002": (
+        "compiled-plan immutability: no writes to CompiledPlan arrays or "
+        "the packed reachability block outside their constructors"
+    ),
+}
+
+#: Attribute names that read as "a CompiledPlan array".
+_PLAN_ATTRS = frozenset(
+    {
+        "_query", "_yes", "_no", "_target",
+        "query_ix", "yes_child", "no_child", "target_ix",
+    }
+)
+
+#: The hierarchy's packed-bitset cache slot (shared via the pool).
+_BITS_ATTRS = frozenset({"_reach_bits"})
+
+#: Zero-argument-ish accessors whose results alias protected storage.
+_TAINTING_CALLS = frozenset(
+    {
+        "payload_arrays",
+        "reachability_bits",
+        "reachability_matrix",
+        "tree_intervals",
+    }
+)
+
+
+def _protected_attr(node: ast.expr, include_bits: bool) -> str | None:
+    if isinstance(node, ast.Attribute):
+        if node.attr in _PLAN_ATTRS:
+            return node.attr
+        if include_bits and node.attr in _BITS_ATTRS:
+            return node.attr
+    return None
+
+
+def _taints(value: ast.expr) -> bool:
+    """``value`` *aliases* protected storage (rather than copying it).
+
+    Structural, not a blanket subtree scan: ``np.where(answers,
+    plan.yes_child[nodes], ...)`` and fancy-indexed reads allocate fresh
+    arrays and must not taint.  What does alias:
+
+    * a bare protected-attribute read (``plan.query_ix``);
+    * a basic slice of one (``plan.query_ix[2:]`` is a numpy view);
+    * any subscript of a tainting accessor's result
+      (``plan.payload_arrays()["query"]`` is the array itself);
+    * the accessor calls themselves;
+    * ternaries/containers where any branch/element aliases.
+    """
+    if _protected_attr(value, include_bits=True):
+        return True
+    if isinstance(value, ast.Call):
+        return call_attr(value.func) in _TAINTING_CALLS
+    if isinstance(value, ast.Subscript):
+        if _protected_attr(value.value, include_bits=True):
+            return isinstance(value.slice, ast.Slice)
+        return _taints(value.value)
+    if isinstance(value, ast.IfExp):
+        return _taints(value.body) or _taints(value.orelse)
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return any(_taints(e) for e in value.elts)
+    if isinstance(value, ast.NamedExpr):
+        return _taints(value.value)
+    return False
+
+
+def _tainted_names(func: ast.AST) -> set[str]:
+    """Names bound (anywhere in ``func``) from protected-array aliases."""
+    tainted: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _taints(node.value):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                tainted.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        tainted.add(element.id)
+    return tainted
+
+
+def _store_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def check(ctx) -> Iterator[Diagnostic]:
+    # The eager and incremental plan constructors own their storage; only
+    # the un-freeze check applies to them.
+    in_plan_module = ctx.repro_parts[-2:] in (
+        ("plan", "plan.py"),
+        ("plan", "lazy.py"),
+    )
+    in_hierarchy_module = ctx.repro_parts[-2:] == ("core", "hierarchy.py")
+
+    # Function-scope taint maps, computed lazily per enclosing function.
+    taint_by_func: dict[ast.AST, set[str]] = {}
+    func_of: dict[ast.stmt, ast.AST] = {}
+    for func in ast.walk(ctx.tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.stmt):
+                    func_of.setdefault(stmt, func)
+
+    def tainted_for(stmt: ast.stmt) -> set[str]:
+        func = func_of.get(stmt)
+        if func is None:
+            return set()
+        if func not in taint_by_func:
+            taint_by_func[func] = _tainted_names(func)
+        return taint_by_func[func]
+
+    def _own_init_binding(stmt: ast.stmt, target: ast.expr) -> bool:
+        """``self.<attr> = ...`` inside an ``__init__``: a class binding
+        its own same-named attribute, not a write through a plan."""
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return False
+        func = func_of.get(stmt)
+        return getattr(func, "name", None) == "__init__"
+
+    for node in ast.walk(ctx.tree):
+        # setflags(write=True) — anywhere, any receiver.
+        if isinstance(node, ast.Call) and call_attr(node.func) == "setflags":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value in (True, 1)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        "RPA002",
+                        "setflags(write=True) re-enables writes on a frozen "
+                        "array — plan and reachability buffers are shared "
+                        "zero-copy across workers; copy instead",
+                    )
+        if in_plan_module:
+            continue
+        if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            continue
+        for target in _store_targets(node):
+            # plan._query = ... / plan.query_ix = ... (attribute rebinding)
+            attr = _protected_attr(target, include_bits=not in_hierarchy_module)
+            if attr is not None and not _own_init_binding(node, target):
+                yield ctx.diagnostic(
+                    node,
+                    "RPA002",
+                    f"assignment to {attr!r} outside its constructor — "
+                    "CompiledPlan arrays are immutable once built; compile "
+                    "a new plan instead",
+                )
+                continue
+            # plan.query_ix[...] = ... / h._reach_bits[...] |= ...
+            if isinstance(target, ast.Subscript):
+                # Walk nested subscripts down to the stored-into base:
+                # arrays["query"][0] = ... stores through `arrays`.
+                base = target.value
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                attr = _protected_attr(base, include_bits=True)
+                if attr is not None:
+                    yield ctx.diagnostic(
+                        node,
+                        "RPA002",
+                        f"item-store into {attr!r} — these are zero-copy "
+                        "shared-memory views; one write corrupts every "
+                        "attached worker",
+                    )
+                    continue
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in tainted_for(node)
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        "RPA002",
+                        f"item-store through {base.id!r}, an alias of a "
+                        "compiled-plan/reachability array — these views "
+                        "are shared and read-only by contract",
+                    )

@@ -1,0 +1,142 @@
+"""RPA001 — exact-undo conformance.
+
+The vectorized engine and the plan compiler's one-reset undo-DFS
+(:func:`repro.plan.compile.compile_policy`) rely on policies *exactly*
+reverting their most recent answer.  The protocol has two halves that must
+stay paired, and a broken pair corrupts every walk that trusts it — the
+symptom is a bit-identity diff three layers downstream, not an error here:
+
+* a policy class that advertises ``supports_undo = True`` and applies
+  answers (``_apply_answer``) must also define the reverse
+  (``_revert_answer``), and its apply path must journal the restoration
+  payload (``self._undo_log``) — otherwise ``undo()`` either raises or,
+  worse, restores nothing;
+* every :meth:`CandidateGraph.apply_journaled` call must keep its returned
+  journal (the eliminated nodes + old root are the *only* way back) and the
+  enclosing class must call ``restore`` somewhere — an apply with no
+  restore is one-way state mutation dressed up as journaling.
+
+This is a class-granularity approximation of "paired on all control-flow
+paths": full path pairing lives in the runtime undo-integrity sanitizer
+(:mod:`repro.analysis.sanitize`), which fingerprints policy state around
+every ``propose``/``undo`` under ``REPRO_SANITIZE=1``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_attr
+from repro.analysis.diagnostics import Diagnostic
+
+CODES = {
+    "RPA001": (
+        "exact-undo conformance: supports_undo policies must define and "
+        "journal the matching revert, and apply_journaled calls must keep "
+        "their journal and be paired with restore"
+    ),
+}
+
+
+def _is_true(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _class_flags(cls: ast.ClassDef):
+    """(supports_undo set true, method defs by name) for a class body."""
+    supports_undo = False
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and _is_true(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "supports_undo":
+                    supports_undo = True
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "supports_undo"
+            and stmt.value is not None
+            and _is_true(stmt.value)
+        ):
+            supports_undo = True
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = stmt
+    return supports_undo, methods
+
+
+def _references_undo_log(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "_undo_log"
+        for node in ast.walk(func)
+    )
+
+
+def _journal_calls(scope: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) and call_attr(node.func) == "apply_journaled":
+            yield node
+
+
+def _has_restore_call(scope: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call) and call_attr(node.func) == "restore"
+        for node in ast.walk(scope)
+    )
+
+
+def _discarded_calls(scope: ast.AST) -> set[ast.Call]:
+    """Calls appearing as bare expression statements (result thrown away)."""
+    return {
+        stmt.value
+        for stmt in ast.walk(scope)
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+    }
+
+
+def check(ctx) -> Iterator[Diagnostic]:
+    # Class conformance: supports_undo => revert + journaling.
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        supports_undo, methods = _class_flags(node)
+        if supports_undo and "_apply_answer" in methods:
+            if "_revert_answer" not in methods:
+                yield ctx.diagnostic(
+                    node,
+                    "RPA001",
+                    f"class {node.name!r} sets supports_undo = True and "
+                    "defines _apply_answer but no _revert_answer — undo() "
+                    "cannot restore its state exactly",
+                )
+            apply = methods["_apply_answer"]
+            if not _references_undo_log(apply):
+                yield ctx.diagnostic(
+                    apply,
+                    "RPA001",
+                    f"{node.name}._apply_answer never journals to "
+                    "self._undo_log — with undo enabled there is nothing "
+                    "to restore from",
+                )
+
+        # apply_journaled pairing, at class granularity.
+        journal_sites = list(_journal_calls(node))
+        if journal_sites:
+            discarded = _discarded_calls(node)
+            for call in journal_sites:
+                if call in discarded:
+                    yield ctx.diagnostic(
+                        call,
+                        "RPA001",
+                        "apply_journaled result is discarded — the journal "
+                        "(eliminated nodes, old root) is the only way to "
+                        "restore; keep it for the revert path",
+                    )
+            if not _has_restore_call(node):
+                yield ctx.diagnostic(
+                    journal_sites[0],
+                    "RPA001",
+                    f"class {node.name!r} calls apply_journaled but never "
+                    "calls restore — journaled updates must have a paired "
+                    "exact-undo path",
+                )

@@ -263,6 +263,14 @@ def _run_serve(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Static invariant checks live in their own argument namespace;
+        # delegate before the experiment parser sees (and rejects) them.
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "interactive":
         return _run_interactive(args)

@@ -411,7 +411,11 @@ class Hierarchy:
                 stack.append((v, True))
                 for c in reversed(self._children[v]):
                     stack.append((c, False))
-            self._intervals = (tin, tout)
+            # Local import: core sits below the analysis layer, and this
+            # path runs once per hierarchy.
+            from repro.analysis import sanitize
+
+            self._intervals = (sanitize.freeze(tin), sanitize.freeze(tout))
         return self._intervals
 
     def reachability_matrix(self, *, allow_large: bool = False) -> np.ndarray | None:
@@ -430,7 +434,9 @@ class Hierarchy:
             row[v] = True
             for c in self._children[v]:
                 row |= matrix[c]
-        self._reach_matrix = matrix
+        from repro.analysis import sanitize
+
+        self._reach_matrix = sanitize.freeze(matrix)
         return matrix
 
     def reachability_bits(self, *, allow_large: bool = False) -> np.ndarray | None:

@@ -64,6 +64,14 @@ class Policy(ABC):
     #: tree) set this to False and are compiled fresh every time.
     plan_cacheable: bool = True
 
+    #: Attribute names the undo-integrity sanitizer (``REPRO_SANITIZE=1``,
+    #: see :mod:`repro.analysis.sanitize`) skips when fingerprinting state
+    #: around each observe/undo pair.  List *caches* here — state that is
+    #: rebuilt on demand and whose valid contents are derived from
+    #: fingerprinted attributes — never real per-answer state: excluding
+    #: the latter silences exactly the corruption the checker exists for.
+    undo_fingerprint_exclude: tuple = ()
+
     def __init__(self) -> None:
         self.hierarchy: Hierarchy | None = None
         self.distribution: TargetDistribution | None = None

@@ -88,6 +88,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.exceptions import PoolError, ReproError
 
 #: Segment-name prefix; includes the owning pid so a leak check (and a
@@ -364,7 +365,7 @@ def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
             elif kind == "sleep":
                 # Failure-injection aid for the test suite: occupies this
                 # worker so tests can kill it mid-task deterministically.
-                time.sleep(float(msg[2]))
+                time.sleep(float(msg[2]))  # repro: noqa RPA004 - test-only stall task; never feeds results
                 results.put((task_id, "ok", None))
             else:
                 raise PoolError(f"unknown pool task kind {kind!r}")
@@ -450,6 +451,9 @@ class EvaluationPool:
         #: can route a stream result home, and a restart can resubmit
         #: in-flight stream batches along with its own.
         self._stream_tasks: dict[int, tuple["PlanStream", tuple]] = {}
+        #: Every segment name this pool ever created; close() asserts (under
+        #: REPRO_SANITIZE=1) that none of them survives in /dev/shm.
+        self._created_segments: set[str] = set()
         self._closed = False
         #: Walks served, workers respawned after a death, segments evicted.
         self.walks = 0
@@ -543,9 +547,9 @@ class EvaluationPool:
                     self._tasks.put(None)
                 except Exception:
                     pass
-        deadline = time.monotonic() + _JOIN_TIMEOUT
+        deadline = time.monotonic() + _JOIN_TIMEOUT  # repro: noqa RPA004 - teardown join budget, not result data
         for proc in self._procs:
-            proc.join(max(0.0, deadline - time.monotonic()))
+            proc.join(max(0.0, deadline - time.monotonic()))  # repro: noqa RPA004 - teardown join budget, not result data
             if proc.is_alive():
                 proc.terminate()
                 proc.join(1.0)
@@ -560,6 +564,9 @@ class EvaluationPool:
             except Exception:
                 pass
         _LIVE_POOLS.discard(self)
+        sanitize.check_segments_released(
+            self._created_segments, f"EvaluationPool({self.workers} workers)"
+        )
 
     @property
     def closed(self) -> bool:
@@ -633,6 +640,7 @@ class EvaluationPool:
                 self._evict_one()
             name = _segment_prefix() + uuid.uuid4().hex[:8]
             shm = _pack_segment(plan, hierarchy, key, name)
+            self._created_segments.add(name)
             entry = _Segment(
                 key, shm, next(self._stamps), anonymous=key.startswith("anon:")
             )

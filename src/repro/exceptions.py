@@ -76,6 +76,18 @@ class QuotaExceededError(AdmissionError):
     allows.  Release a plan (finish its sessions) or raise the quota."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis pass (:mod:`repro.analysis`) was misconfigured
+    (unknown rule code, unreadable source path, or corrupt baseline file)."""
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer check (``REPRO_SANITIZE=1``) caught an invariant
+    violation — a leaked shared-memory segment or a policy whose ``undo``
+    failed to restore the pre-answer state exactly.  Loud by design: the
+    violation is reported where it happens, not as a downstream diff."""
+
+
 class BudgetExceededError(SearchError):
     """The search exceeded its query budget before identifying the target.
 

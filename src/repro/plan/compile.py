@@ -27,6 +27,7 @@ import hashlib
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
@@ -222,6 +223,10 @@ def _undo_walk(
         # [node id, viable branches, branch cursor, depth]
         return node, [node, branches, 0, depth]
 
+    # Under REPRO_SANITIZE=1 every observe/undo pair is bracketed by a
+    # state fingerprint: an inexact undo fails here, at the policy, not
+    # as a bit-identity diff three layers downstream.
+    checker = sanitize.undo_checker(policy)
     policy.enable_undo(True)
     try:
         policy.reset(hierarchy, distribution, model)
@@ -233,17 +238,20 @@ def _undo_walk(
             if cursor < len(branches):
                 frame[2] += 1
                 answer, subset = branches[cursor]
+                checker.before_observe()
                 policy.observe(answer)
                 child, child_frame = open_node(subset, depth + 1)
                 builder.set_child(node, answer, child)
                 if child_frame is None:
                     policy.undo()
+                    checker.after_undo()
                 else:
                     stack.append(child_frame)
             else:
                 stack.pop()
                 if stack:
                     policy.undo()
+                    checker.after_undo()
     finally:
         policy.enable_undo(False)
 

@@ -64,7 +64,6 @@ class CostSensitiveGreedyPolicy(Policy):
         total = float(self._weights[candidates].sum())
         best = None
         best_score = -1.0
-        best_split = None
         for v in candidates:
             if v == cg.root_ix:
                 continue
@@ -73,7 +72,6 @@ class CostSensitiveGreedyPolicy(Policy):
             if score > best_score:
                 best_score = score
                 best = v
-                best_split = inside
         if best is None:
             raise PolicyError("no candidate left to query")
         if best_score <= 0.0:

@@ -26,8 +26,6 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
-import numpy as np
-
 from repro.core.policy import Policy
 from repro.exceptions import PolicyError
 

@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
-import numpy as np
-
 from repro.core.candidate import CandidateGraph
 from repro.core.policy import Policy
 from repro.exceptions import PolicyError

@@ -52,6 +52,12 @@ class GreedyTreePolicy(Policy):
     name = "GreedyTree"
     uses_distribution = True
     supports_undo = True
+    #: The child-heap index is a lazily-invalidated cache: _revert_answer
+    #: rebuilds it (clear + on-demand heapify) instead of restoring its
+    #: layout byte-for-byte, and every surviving entry is re-validated
+    #: against the live weights on pop — so heap layout is not part of the
+    #: exact-undo state contract.
+    undo_fingerprint_exclude = ("_heaps",)
 
     def __init__(
         self, *, rounded: bool = False, heap_children: bool = False

@@ -21,7 +21,6 @@ within their proven factors of these optima.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
 from functools import lru_cache
 
 from repro.core.costs import QueryCostModel, UnitCost

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.oracle import Oracle
 from repro.core.session import SearchResult, default_budget
@@ -56,6 +57,7 @@ from repro.exceptions import (
     PoolError,
     QuotaExceededError,
     ReproError,
+    SanitizerError,
     SearchError,
     ServeError,
 )
@@ -672,8 +674,16 @@ class Server:
             for key in self._pinned:
                 try:
                     self.pool.release(key)
-                except ReproError:
-                    pass
+                except ReproError as exc:
+                    # A pin the pool no longer holds is a refcount
+                    # accounting bug; surface it when sanitizing, stay
+                    # quiet on the best-effort teardown path otherwise.
+                    if sanitize.enabled():
+                        raise SanitizerError(
+                            f"server close: pinned plan {key[:12]!r}... was "
+                            f"not held by the pool ({exc}) — pin/release "
+                            "accounting drifted"
+                        ) from exc
         self._pinned.clear()
         self._groups.clear()
         self._queue.clear()
@@ -890,7 +900,7 @@ class Server:
             # every tick must finish or advance someone — hitting it
             # there is a bug, not load.
             if any(group.tickets for group in self._groups.values()):
-                time.sleep(0.001)
+                time.sleep(0.001)  # repro: noqa RPA004 - drain poll pacing; affects latency only
                 continue
             idle_ticks += 1
             if idle_ticks > 10_000:
@@ -972,7 +982,7 @@ class Server:
             if not finished and any(
                 group.tickets for group in self._groups.values()
             ):
-                time.sleep(0.001)  # pool workers are walking; don't spin
+                time.sleep(0.001)  # repro: noqa RPA004 - pool workers are walking; poll pacing only
             if exhausted and not self.in_flight and not self._queue:
                 return
 

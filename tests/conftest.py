@@ -10,23 +10,13 @@ module (which is ambiguous when several directories define one).  The
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-
 import numpy as np
 import pytest
 
+from repro.analysis import sanitize
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
 from repro import testing
-
-
-def _pool_segments() -> list[str]:
-    """Shared-memory segments published by pools of *this* process."""
-    shm_dir = Path("/dev/shm")
-    if not shm_dir.exists():  # non-Linux: nothing to scan, nothing to leak
-        return []
-    return sorted(p.name for p in shm_dir.glob(f"rp_{os.getpid()}_*"))
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -40,9 +30,12 @@ def assert_no_orphaned_pool_segments():
     instantiated before any pool-creating fixture and therefore finalizes
     after all of them, asserting the invariant the hardening pass is about:
     no orphaned ``/dev/shm`` segment remains once the suite is done.
+    The scan itself is :func:`repro.analysis.sanitize.pool_segments`, the
+    same helper ``EvaluationPool.close()`` asserts with under
+    ``REPRO_SANITIZE=1``.
     """
     yield
-    leaked = _pool_segments()
+    leaked = sanitize.pool_segments()
     assert not leaked, (
         f"pool shared-memory segments leaked by the test session: {leaked}; "
         "every EvaluationPool must be closed (context manager or explicit "

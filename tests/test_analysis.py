@@ -1,0 +1,595 @@
+"""The invariant linter (``repro.analysis``) and the runtime sanitizers.
+
+Each RPA rule gets a fixture pair — source that must be flagged and the
+closest conforming variant that must stay clean — plus the suppression
+layers (inline noqa, baseline round-trip) and the ``REPRO_SANITIZE=1``
+runtime checks (frozen caches, shm leak detection, undo integrity).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RULES,
+    check_source,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis import sanitize
+from repro.analysis.__main__ import main as lint_main
+from repro.engine import EvaluationPool
+from repro.exceptions import AnalysisError, SanitizerError
+from repro.plan import compile_policy
+from repro.policies import GreedyTreePolicy
+
+
+def codes_of(findings):
+    return sorted({d.code for d in findings})
+
+
+def check(source, path="src/repro/mod.py", **kw):
+    return check_source(source, path, **kw)
+
+
+# ----------------------------------------------------------------------
+# RPA001 — exact-undo conformance
+# ----------------------------------------------------------------------
+class TestUndoRule:
+    def test_missing_revert_flagged(self):
+        src = """
+class P:
+    supports_undo = True
+    def _apply_answer(self, query, answer):
+        self._undo_log.append((query, answer, None))
+"""
+        findings = check(src, select=["RPA001"])
+        assert codes_of(findings) == ["RPA001"]
+        assert "_revert_answer" in findings[0].message
+
+    def test_unjournaled_apply_flagged(self):
+        src = """
+class P:
+    supports_undo = True
+    def _apply_answer(self, query, answer):
+        self.state += 1
+    def _revert_answer(self, query, answer, payload):
+        self.state -= 1
+"""
+        findings = check(src, select=["RPA001"])
+        assert any("_undo_log" in d.message for d in findings)
+
+    def test_conforming_policy_clean(self):
+        src = """
+class P:
+    supports_undo = True
+    def _apply_answer(self, query, answer):
+        self._undo_log.append((query, answer, self.state))
+        self.state += 1
+    def _revert_answer(self, query, answer, payload):
+        self.state = payload
+"""
+        assert check(src, select=["RPA001"]) == []
+
+    def test_discarded_journal_flagged(self):
+        src = """
+class Walker:
+    def step(self, cg, label, answer):
+        cg.apply_journaled(label, answer)
+    def back(self, cg, journal):
+        cg.restore(*journal)
+"""
+        findings = check(src, select=["RPA001"])
+        assert any("discarded" in d.message for d in findings)
+
+    def test_apply_without_restore_flagged(self):
+        src = """
+class Walker:
+    def step(self, cg, label, answer):
+        self.journal = cg.apply_journaled(label, answer)
+"""
+        findings = check(src, select=["RPA001"])
+        assert any("restore" in d.message for d in findings)
+
+    def test_paired_journal_clean(self):
+        src = """
+class Walker:
+    def step(self, cg, label, answer):
+        eliminated, old_root = cg.apply_journaled(label, answer)
+        self.journal.append((eliminated, old_root))
+    def back(self, cg):
+        cg.restore(*self.journal.pop())
+"""
+        assert check(src, select=["RPA001"]) == []
+
+
+# ----------------------------------------------------------------------
+# RPA002 — compiled-plan immutability
+# ----------------------------------------------------------------------
+class TestPlanImmutabilityRule:
+    def test_attribute_rebinding_flagged(self):
+        src = "def hack(plan, arr):\n    plan._query = arr\n"
+        findings = check(src, select=["RPA002"])
+        assert codes_of(findings) == ["RPA002"]
+
+    def test_item_store_flagged(self):
+        src = "def hack(plan):\n    plan.query_ix[0] = 3\n"
+        assert codes_of(check(src, select=["RPA002"])) == ["RPA002"]
+
+    def test_aliased_item_store_flagged(self):
+        src = """
+def hack(plan):
+    arrays = plan.payload_arrays()
+    arrays["query"][0] = 3
+"""
+        assert codes_of(check(src, select=["RPA002"])) == ["RPA002"]
+
+    def test_setflags_write_true_flagged(self):
+        src = "def hack(arr):\n    arr.setflags(write=True)\n"
+        findings = check(src, select=["RPA002"])
+        assert any("setflags" in d.message for d in findings)
+
+    def test_reads_and_copies_clean(self):
+        src = """
+import numpy as np
+
+def walk(plan, nodes, answers):
+    children = np.where(answers, plan.yes_child[nodes], plan.no_child[nodes])
+    children[0] = 0  # fresh array from np.where, not a view
+    return plan.query_ix[children]
+"""
+        assert check(src, select=["RPA002"]) == []
+
+    def test_own_init_binding_clean(self):
+        src = """
+class WalkResult:
+    def __init__(self, target_ix):
+        self.target_ix = target_ix
+"""
+        assert check(src, select=["RPA002"]) == []
+
+    def test_plan_constructor_module_exempt(self):
+        src = "class CompiledPlan:\n    def _bind(self, q):\n        self._query = q\n"
+        assert check(src, path="src/repro/plan/plan.py", select=["RPA002"]) == []
+        assert check(src, path="src/repro/engine/x.py", select=["RPA002"]) != []
+
+
+# ----------------------------------------------------------------------
+# RPA003 — shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestShmRule:
+    def test_never_released_flagged(self):
+        src = """
+from multiprocessing import shared_memory
+
+def attach(name):
+    shm = shared_memory.SharedMemory(name=name)
+    return bytes(shm.buf[:8])
+"""
+        findings = check(src, select=["RPA003"])
+        assert codes_of(findings) == ["RPA003"]
+
+    def test_unprotected_exception_path_flagged(self):
+        src = """
+from multiprocessing import shared_memory
+
+def attach(name, parse):
+    shm = shared_memory.SharedMemory(name=name)
+    meta = parse(shm.buf)
+    shm.close()
+    return meta
+"""
+        findings = check(src, select=["RPA003"])
+        assert any("raise" in d.message for d in findings)
+
+    def test_try_finally_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+def attach(name, parse):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return parse(shm.buf)
+    finally:
+        shm.close()
+"""
+        assert check(src, select=["RPA003"]) == []
+
+    def test_escape_to_owner_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+def publish(registry, key, size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    registry.add(key, shm)
+    return shm
+"""
+        assert check(src, select=["RPA003"]) == []
+
+    def test_with_statement_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+def peek(name):
+    with shared_memory.SharedMemory(name=name) as shm:
+        return bytes(shm.buf[:4])
+"""
+        assert check(src, select=["RPA003"]) == []
+
+
+# ----------------------------------------------------------------------
+# RPA004 — determinism in plan/engine/serve
+# ----------------------------------------------------------------------
+class TestDeterminismRule:
+    ENGINE = "src/repro/engine/mod.py"
+
+    def test_wall_clock_flagged_in_scope(self):
+        src = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert codes_of(check(src, path=self.ENGINE, select=["RPA004"])) == ["RPA004"]
+
+    def test_out_of_scope_module_clean(self):
+        src = "import time\n\ndef stamp():\n    return time.time()\n"
+        clean = check(src, path="src/repro/experiments/mod.py", select=["RPA004"])
+        assert clean == []
+
+    def test_global_rng_flagged(self):
+        src = "import random\n\ndef pick(xs):\n    return random.choice(xs)\n"
+        assert check(src, path=self.ENGINE, select=["RPA004"]) != []
+
+    def test_legacy_numpy_rng_flagged_default_rng_clean(self):
+        bad = "import numpy as np\n\ndef noise(n):\n    return np.random.rand(n)\n"
+        good = (
+            "import numpy as np\n\n"
+            "def noise(n, seed):\n"
+            "    return np.random.default_rng(seed).random(n)\n"
+        )
+        assert check(bad, path=self.ENGINE, select=["RPA004"]) != []
+        assert check(good, path=self.ENGINE, select=["RPA004"]) == []
+
+    def test_set_fed_array_flagged_sorted_clean(self):
+        bad = (
+            "import numpy as np\n\n"
+            "def ids(labels, index):\n"
+            "    return np.array({index[l] for l in labels})\n"
+        )
+        good = (
+            "import numpy as np\n\n"
+            "def ids(labels, index):\n"
+            "    return np.array(sorted({index[l] for l in labels}))\n"
+        )
+        assert check(bad, path=self.ENGINE, select=["RPA004"]) != []
+        assert check(good, path=self.ENGINE, select=["RPA004"]) == []
+
+
+# ----------------------------------------------------------------------
+# RPA005 — process-boundary exception discipline
+# ----------------------------------------------------------------------
+class TestProcessExceptionRule:
+    def test_bare_except_flagged(self):
+        src = "def f(x):\n    try:\n        return x()\n    except:\n        return None\n"
+        findings = check(src, select=["RPA005"])
+        assert any("bare" in d.message for d in findings)
+
+    def test_swallowed_broad_except_flagged(self):
+        src = """
+def f(walk, batch):
+    try:
+        frames = batch.split()
+        results = [walk(f) for f in frames]
+        return merge(results)
+    except Exception:
+        pass
+"""
+        assert check(src, select=["RPA005"]) != []
+
+    def test_best_effort_teardown_clean(self):
+        src = """
+def drain(q):
+    try:
+        q.close()
+    except Exception:
+        pass
+"""
+        assert check(src, select=["RPA005"]) == []
+
+    def test_unguarded_entry_point_flagged(self):
+        src = """
+def _worker(tasks, results):
+    while True:
+        results.put(handle(tasks.get()))
+
+def start(ctx, tasks, results):
+    return ctx.Process(target=_worker, args=(tasks, results))
+"""
+        findings = check(src, select=["RPA005"])
+        assert any("entry point" in d.message for d in findings)
+
+    def test_marshalling_entry_point_clean(self):
+        src = """
+import pickle
+
+def _worker(tasks, results):
+    while True:
+        try:
+            results.put(("ok", handle(tasks.get())))
+        except BaseException as exc:
+            results.put(("error", pickle.dumps(exc)))
+
+def start(ctx, tasks, results):
+    return ctx.Process(target=_worker, args=(tasks, results))
+"""
+        assert check(src, select=["RPA005"]) == []
+
+    def test_builtin_raise_in_entry_scope_flagged(self):
+        src = """
+def _worker(tasks, results):
+    while True:
+        try:
+            msg = tasks.get()
+            if msg is None:
+                raise ValueError("no message")
+            results.put(msg)
+        except BaseException as exc:
+            results.put(exc)
+
+def start(ctx):
+    return ctx.Process(target=_worker)
+"""
+        findings = check(src, select=["RPA005"])
+        assert any("ReproError" in d.message for d in findings)
+
+
+# ----------------------------------------------------------------------
+# RPA006 — pickle hygiene
+# ----------------------------------------------------------------------
+class TestPickleHygieneRule:
+    def test_lambda_target_flagged(self):
+        src = "def start(ctx, q):\n    return ctx.Process(target=lambda: q.put(1))\n"
+        assert codes_of(check(src, select=["RPA006"])) == ["RPA006"]
+
+    def test_nested_function_target_flagged(self):
+        src = """
+def start(ctx, q):
+    def run():
+        q.put(1)
+    return ctx.Process(target=run)
+"""
+        assert codes_of(check(src, select=["RPA006"])) == ["RPA006"]
+
+    def test_lambda_submit_flagged(self):
+        src = "def go(pool, x):\n    return pool.submit(lambda: x + 1)\n"
+        assert codes_of(check(src, select=["RPA006"])) == ["RPA006"]
+
+    def test_module_level_target_clean(self):
+        src = """
+def _worker(q):
+    q.put(1)
+
+def start(ctx, q):
+    return ctx.Process(target=_worker, args=(q,))
+"""
+        assert check(src, select=["RPA006"]) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression: noqa and baseline
+# ----------------------------------------------------------------------
+class TestSuppression:
+    BAD = "def hack(plan):\n    plan.query_ix[0] = 3{comment}\n"
+
+    def test_noqa_with_matching_code_suppresses(self):
+        src = self.BAD.format(
+            comment="  # repro: noqa RPA002 - fixture justification"
+        )
+        assert check(src, select=["RPA002"]) == []
+
+    def test_noqa_with_other_code_does_not_suppress(self):
+        src = self.BAD.format(comment="  # repro: noqa RPA001 - wrong code")
+        assert check(src, select=["RPA002"]) != []
+
+    def test_blanket_noqa_without_codes_does_not_suppress(self):
+        src = self.BAD.format(comment="  # repro: noqa")
+        assert check(src, select=["RPA002"]) != []
+
+    def test_baseline_round_trip(self, tmp_path):
+        bad = tmp_path / "repro" / "engine" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        findings = lint_paths([bad])
+        assert codes_of(findings) == ["RPA004"]
+
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        assert lint_paths([bad], baseline=str(baseline)) == []
+
+        # A *new* finding is not covered by the old baseline.
+        bad.write_text(
+            "import time\n\n"
+            "def stamp():\n    return time.time()\n\n"
+            "def stamp2():\n    return time.monotonic()\n"
+        )
+        survivors = lint_paths([bad], baseline=str(baseline))
+        assert len(survivors) == 1 and "monotonic" in survivors[0].message
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(target)
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(AnalysisError):
+            load_baseline(target)
+
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(AnalysisError):
+            check_source("x = 1\n", select=["RPA999"])
+
+
+# ----------------------------------------------------------------------
+# Driver and CLI
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_rule_registry_complete(self):
+        assert sorted(RULES) == [
+            "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
+        ]
+
+    def test_repo_tree_is_clean(self):
+        assert lint_paths(["src/repro"]) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean), "-q"]) == 0
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def hack(plan):\n    plan.query_ix[0] = 3\n")
+        assert lint_main([str(bad), "-q"]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad.as_posix()}:2: RPA002" in out
+
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+        assert lint_main(["--select", "NOPE", str(clean)]) == 2
+
+    def test_cli_write_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def hack(plan):\n    plan.query_ix[0] = 3\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(bad), "--baseline", str(baseline), "-q"]) == 0
+
+    def test_cli_command_delegation(self):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", "src/repro", "-q"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Runtime sanitizers (REPRO_SANITIZE=1)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def sanitizing(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+class TestSanitizers:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize.enabled()
+        for value in ("0", "false", "off", ""):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert not sanitize.enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize.enabled()
+
+    def test_plan_arrays_reject_writes(self, vehicle_hierarchy):
+        plan = compile_policy(GreedyTreePolicy(), vehicle_hierarchy)
+        with pytest.raises(ValueError):
+            plan.query_ix[0] = 7
+        with pytest.raises(ValueError):
+            plan.payload_arrays()["target"][0] = 7
+
+    def test_reachability_caches_frozen_when_sanitizing(
+        self, sanitizing, vehicle_hierarchy
+    ):
+        matrix = vehicle_hierarchy.reachability_matrix()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = False
+        tin, tout = vehicle_hierarchy.tree_intervals()
+        with pytest.raises(ValueError):
+            tin[0] = 99
+        with pytest.raises(ValueError):
+            tout[0] = 99
+
+    def test_reachability_caches_writable_without_sanitize(
+        self, monkeypatch, vehicle_hierarchy
+    ):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        matrix = vehicle_hierarchy.reachability_matrix()
+        assert matrix.flags.writeable
+
+    def test_leaked_segment_detected(self, sanitizing):
+        name = f"rp_{os.getpid()}_deadbeef"
+        shm = shared_memory.SharedMemory(create=True, size=16, name=name)
+        try:
+            with pytest.raises(SanitizerError, match="survived"):
+                sanitize.check_segments_released([name], "test-owner")
+        finally:
+            shm.close()
+            shm.unlink()
+        # Gone now: the same check passes.
+        sanitize.check_segments_released([name], "test-owner")
+
+    def test_pool_close_catches_unlink_leak(
+        self, sanitizing, monkeypatch, vehicle_hierarchy
+    ):
+        plan = compile_policy(GreedyTreePolicy(), vehicle_hierarchy)
+        pool = EvaluationPool(1, start_method="fork")
+        pool.publish(plan, pin=True)
+        leaked = list(pool._created_segments)
+        # Simulate the leak shape: close() tears down but unlink is lost.
+        monkeypatch.setattr(
+            EvaluationPool, "_unlink", staticmethod(lambda entry: None)
+        )
+        try:
+            with pytest.raises(SanitizerError, match="survived"):
+                pool.close()
+        finally:
+            for name in leaked:
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+
+    def test_pool_close_clean_under_sanitize(self, sanitizing, vehicle_hierarchy):
+        plan = compile_policy(GreedyTreePolicy(), vehicle_hierarchy)
+        with EvaluationPool(1, start_method="fork") as pool:
+            pool.publish(plan, pin=True)
+        # close() ran the leak check without raising.
+
+    def test_inexact_undo_caught(self, sanitizing, vehicle_hierarchy):
+        class BrokenUndo(GreedyTreePolicy):
+            name = "BrokenUndo"
+
+            def _revert_answer(self, query, answer, payload):
+                super()._revert_answer(query, answer, payload)
+                self._tilde_p[0] += 0.125  # drift the restored state
+
+        with pytest.raises(SanitizerError, match="_tilde_p"):
+            compile_policy(BrokenUndo(), vehicle_hierarchy)
+
+    def test_exact_undo_passes(self, sanitizing, vehicle_hierarchy):
+        plan = compile_policy(GreedyTreePolicy(), vehicle_hierarchy)
+        assert plan.policy_name == "GreedyTree"
+
+    def test_cache_exclusions_respected(self, sanitizing, vehicle_hierarchy):
+        # heap_children maintains a lazily-rebuilt cache that undo clears
+        # instead of restoring; its declared exclusion keeps the checker
+        # focused on logical state.
+        plan = compile_policy(
+            GreedyTreePolicy(heap_children=True), vehicle_hierarchy
+        )
+        assert plan.policy_name == "GreedyTree"
+
+    def test_broken_undo_unnoticed_without_sanitize(
+        self, monkeypatch, vehicle_hierarchy
+    ):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+        class QuietlyBroken(GreedyTreePolicy):
+            name = "QuietlyBroken"
+            plan_cacheable = False
+
+            def _revert_answer(self, query, answer, payload):
+                super()._revert_answer(query, answer, payload)
+                self._last_path = list(self._last_path)  # same values, new list
+
+        # Identical *values* still compile fine without the checker; the
+        # point is that the checker is opt-in, not a behaviour change.
+        plan = compile_policy(QuietlyBroken(), vehicle_hierarchy)
+        assert plan.policy_name == "QuietlyBroken"

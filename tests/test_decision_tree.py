@@ -15,7 +15,7 @@ from repro.core.session import search_for_target
 from repro.exceptions import SearchError
 from repro.policies import GreedyTreePolicy, TopDownPolicy, WigsPolicy
 
-from repro.testing import make_random_dag, make_random_tree, random_distribution
+from repro.testing import make_random_dag, random_distribution
 
 
 class TestBuild:

@@ -17,7 +17,6 @@ from repro.core.costs import UnitCost, random_costs
 from repro.core.decision_tree import build_decision_tree
 from repro.core.oracle import ExactOracle
 from repro.core.session import run_search
-from repro.core.distribution import TargetDistribution
 from repro.engine import VectorPolicy, is_vector_policy, simulate_all_targets
 from repro.exceptions import PolicyError, SearchError
 from repro.policies import (

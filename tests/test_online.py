@@ -33,7 +33,6 @@ class TestLearner:
         assert dist.p("Maxima") == pytest.approx(11 / 17)
 
     def test_converges_to_truth(self, vehicle_hierarchy, rng):
-        truth = {"Maxima": 0.7, "Sentra": 0.3}
         learner = EmpiricalLearner(vehicle_hierarchy, smoothing=0.5)
         for _ in range(5000):
             learner.observe("Maxima" if rng.random() < 0.7 else "Sentra")

@@ -14,7 +14,6 @@ from repro.taxonomy import (
     amazon_catalog,
     amazon_like,
     balanced_tree,
-    imagenet_catalog,
     imagenet_like,
     load_catalog,
     load_edge_list,

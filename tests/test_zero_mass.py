@@ -14,7 +14,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.distribution import TargetDistribution
-from repro.core.hierarchy import Hierarchy
 from repro.core.session import search_for_target
 from repro.policies import (
     CostSensitiveGreedyPolicy,
