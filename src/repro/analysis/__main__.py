@@ -10,9 +10,27 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.diagnostics import write_baseline
-from repro.analysis.engine import RULES, lint_paths
+from repro.analysis.diagnostics import Diagnostic, write_baseline
+from repro.analysis.engine import PROFILES, RULES, lint_paths
 from repro.exceptions import AnalysisError
+
+
+def _github_annotation(diag: Diagnostic) -> str:
+    """One finding as a GitHub Actions workflow command.
+
+    ``::error file=...,line=...`` lines in a step's stdout become inline
+    PR annotations; the message must stay on one line with ``%``, CR and
+    LF percent-escaped per the workflow-command spec.
+    """
+    message = (
+        diag.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={diag.path},line={diag.line},"
+        f"title={diag.code}::{message}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +71,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write surviving findings to FILE as a new baseline and exit 0",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        dest="format_",
+        metavar="{text,github}",
+        help=(
+            "output format: 'text' (default) or 'github' workflow "
+            "annotations (::error file=...,line=...)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        choices=PROFILES,
+        default="repro",
+        help=(
+            "lint profile: 'repro' (default, full ruleset with package "
+            "scoping) or 'tests' (test/benchmark trees: every file in "
+            "scope, wall-clock reads allowed)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the registered rule codes and exit",
@@ -78,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             select=args.select,
             ignore=args.ignore,
             baseline=args.baseline,
+            profile=args.profile,
         )
     except AnalysisError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
@@ -90,7 +130,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     for diag in findings:
-        print(diag.render())
+        if args.format_ == "github":
+            print(_github_annotation(diag))
+        else:
+            print(diag.render())
     if not args.quiet:
         n = len(findings)
         label = "finding" if n == 1 else "findings"

@@ -20,9 +20,11 @@ from pathlib import Path
 
 from repro.analysis import (
     astutil,
+    callgraph,
     rules_determinism,
     rules_plan,
     rules_process,
+    rules_protocol,
     rules_shm,
     rules_undo,
 )
@@ -43,7 +45,17 @@ RULE_MODULES = (
     rules_shm,
     rules_determinism,
     rules_process,
+    rules_protocol,
 )
+
+#: Lint profiles scope rules to the kind of tree being analyzed.
+#: ``repro`` (the default) is the full ruleset with package scoping as
+#: each rule defines it; ``tests`` is the subset that makes sense on
+#: test/benchmark code — every analyzed file is in scope (no
+#: ``repro/<pkg>`` gate), but wall-clock verdicts are suppressed (timing
+#: tests legitimately read clocks; global-RNG and set-fed-array findings
+#: still apply).
+PROFILES = ("repro", "tests")
 
 #: Code -> one-line description, for ``--list-rules`` and the README.
 RULES: dict[str, str] = {}
@@ -54,7 +66,9 @@ for _mod in RULE_MODULES:
 class FileContext:
     """Everything a rule needs about one source file."""
 
-    def __init__(self, path: Path, source: str) -> None:
+    def __init__(
+        self, path: Path, source: str, *, profile: str = "repro"
+    ) -> None:
         self.path = path
         #: Display path (as given on the command line, posix separators).
         self.display = path.as_posix()
@@ -62,6 +76,9 @@ class FileContext:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
         self.imports = astutil.import_map(self.tree)
+        #: Active lint profile (see :data:`PROFILES`).
+        self.profile = profile
+        self._callgraph: callgraph.ModuleCallGraph | None = None
         #: Path parts after the last ``repro`` component (empty when the
         #: file is outside a ``repro`` package checkout) — rules scoped to
         #: repo subpackages (RPA004) key off this.
@@ -71,6 +88,14 @@ class FileContext:
             if parts[i] == "repro":
                 self.repro_parts = parts[i + 1 :]
                 break
+
+    @property
+    def callgraph(self) -> callgraph.ModuleCallGraph:
+        """The file's module call graph, built on first use and shared by
+        every rule that needs interprocedural facts."""
+        if self._callgraph is None:
+            self._callgraph = callgraph.ModuleCallGraph(self.tree)
+        return self._callgraph
 
     def in_package(self, *packages: str) -> bool:
         """True when the file lives under ``repro/<one of packages>/``."""
@@ -119,17 +144,37 @@ def _active_codes(
     return active
 
 
+def _check_profile(profile: str) -> str:
+    if profile not in PROFILES:
+        raise AnalysisError(
+            f"unknown lint profile {profile!r} "
+            f"(known: {', '.join(PROFILES)})"
+        )
+    return profile
+
+
+def _sort_key(diag: Diagnostic) -> tuple[str, int, str, str]:
+    """The canonical diagnostic order: (file, line, code, message).
+
+    Explicit — not the dataclass field order — so output and baselines
+    stay byte-identical across runs, shuffled input paths, and any future
+    ``--jobs``-style parallel analysis that merges per-file results.
+    """
+    return (diag.path, diag.line, diag.code, diag.message)
+
+
 def check_source(
     source: str,
     path: Path | str = "<string>",
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str = "repro",
 ) -> list[Diagnostic]:
     """Analyze one source string; the unit the fixture tests drive."""
     active = _active_codes(select, ignore)
     try:
-        ctx = FileContext(Path(path), source)
+        ctx = FileContext(Path(path), source, profile=_check_profile(profile))
     except SyntaxError as exc:
         raise AnalysisError(f"cannot parse {path}: {exc}") from exc
     findings: list[Diagnostic] = []
@@ -140,7 +185,7 @@ def check_source(
             d for d in module.check(ctx) if d.code in active
         )
     findings = apply_noqa(findings, noqa_codes(ctx.lines))
-    findings.sort()
+    findings.sort(key=_sort_key)
     return findings
 
 
@@ -150,6 +195,7 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     baseline: str | None = None,
+    profile: str = "repro",
 ) -> list[Diagnostic]:
     """Analyze files/directories; returns surviving diagnostics, sorted."""
     findings: list[Diagnostic] = []
@@ -159,9 +205,11 @@ def lint_paths(
         except OSError as exc:
             raise AnalysisError(f"cannot read {path}: {exc}") from exc
         findings.extend(
-            check_source(source, path, select=select, ignore=ignore)
+            check_source(
+                source, path, select=select, ignore=ignore, profile=profile
+            )
         )
     if baseline is not None:
         findings = apply_baseline(findings, load_baseline(baseline))
-    findings.sort()
+    findings.sort(key=_sort_key)
     return findings

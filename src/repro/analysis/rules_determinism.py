@@ -25,6 +25,13 @@ and ``repro/serve/``; experiment drivers and benchmarks are free to read
 clocks.  Scheduling-only uses inside the scoped packages (liveness-poll
 timeouts, backoff sleeps — they affect *when* results arrive, never what
 they contain) are acknowledged inline with ``# repro: noqa RPA004``.
+
+Under the ``tests`` lint profile the package gate is dropped — every
+analyzed file is in scope, which is how ``tests/`` and ``benchmarks/``
+are linted — but wall-clock verdicts are suppressed there: timing code
+legitimately reads clocks, while global-RNG use and set-fed array
+construction are exactly as nondeterministic in a test as in the
+library (a flaky fixture is a flaky suite).
 """
 
 from __future__ import annotations
@@ -68,7 +75,12 @@ _DATETIME_NOW = ("datetime.now", "datetime.utcnow", "datetime.today",
                  "date.today")
 
 
-def _call_verdict(resolved: str) -> str | None:
+def _call_verdict(resolved: str, *, clocks: bool = True) -> str | None:
+    if not clocks and (
+        resolved.startswith(("time.", "datetime."))
+        or any(resolved.endswith(suffix) for suffix in _DATETIME_NOW)
+    ):
+        return None
     if resolved.startswith("time."):
         return (
             f"wall-clock call {resolved}() in a bit-identity code path — "
@@ -125,14 +137,15 @@ def _set_feed(node: ast.expr) -> ast.expr | None:
 
 
 def check(ctx) -> Iterator[Diagnostic]:
-    if not ctx.in_package("plan", "engine", "serve"):
+    tests_profile = getattr(ctx, "profile", "repro") == "tests"
+    if not tests_profile and not ctx.in_package("plan", "engine", "serve"):
         return
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
         resolved = resolve(node.func, ctx.imports)
         if resolved is not None:
-            message = _call_verdict(resolved)
+            message = _call_verdict(resolved, clocks=not tests_profile)
             if message is not None:
                 yield ctx.diagnostic(node, "RPA004", message)
                 continue

@@ -14,7 +14,12 @@ can launder mutability, so the rule flags the write *sites*:
   hierarchy's ``_reach_bits`` block;
 * the same through a local alias — a name bound from a plan-array read,
   ``payload_arrays()``, ``reachability_bits()``, ``reachability_matrix()``
-  or ``tree_intervals()`` — function-scope taint, one hop;
+  or ``tree_intervals()``, **or from any module-local helper that
+  (transitively) returns such an alias** — the call graph's return-alias
+  fixpoint (:meth:`~repro.analysis.callgraph.ModuleCallGraph.
+  tainting_functions`) closes the old one-hop limitation, so a helper
+  that launders ``plan.payload_arrays()["query"]`` through two levels of
+  ``return`` still taints the name its result is bound to;
 * ``setflags(write=True)`` anywhere: un-freezing a frozen array is how
   every "impossible" plan corruption starts.
 
@@ -66,6 +71,9 @@ _TAINTING_CALLS = frozenset(
 )
 
 
+_NO_EXTRA: frozenset[str] = frozenset()
+
+
 def _protected_attr(node: ast.expr, include_bits: bool) -> str | None:
     if isinstance(node, ast.Attribute):
         if node.attr in _PLAN_ATTRS:
@@ -75,7 +83,7 @@ def _protected_attr(node: ast.expr, include_bits: bool) -> str | None:
     return None
 
 
-def _taints(value: ast.expr) -> bool:
+def _taints(value: ast.expr, extra: frozenset[str] = _NO_EXTRA) -> bool:
     """``value`` *aliases* protected storage (rather than copying it).
 
     Structural, not a blanket subtree scan: ``np.where(answers,
@@ -86,33 +94,52 @@ def _taints(value: ast.expr) -> bool:
     * a basic slice of one (``plan.query_ix[2:]`` is a numpy view);
     * any subscript of a tainting accessor's result
       (``plan.payload_arrays()["query"]`` is the array itself);
-    * the accessor calls themselves;
+    * the accessor calls themselves — including module-local helpers the
+      call-graph fixpoint proved to return aliases (``extra``);
     * ternaries/containers where any branch/element aliases.
     """
     if _protected_attr(value, include_bits=True):
         return True
     if isinstance(value, ast.Call):
-        return call_attr(value.func) in _TAINTING_CALLS
+        name = call_attr(value.func)
+        return name in _TAINTING_CALLS or name in extra
     if isinstance(value, ast.Subscript):
         if _protected_attr(value.value, include_bits=True):
             return isinstance(value.slice, ast.Slice)
-        return _taints(value.value)
+        return _taints(value.value, extra)
     if isinstance(value, ast.IfExp):
-        return _taints(value.body) or _taints(value.orelse)
+        return _taints(value.body, extra) or _taints(value.orelse, extra)
     if isinstance(value, (ast.Tuple, ast.List)):
-        return any(_taints(e) for e in value.elts)
+        return any(_taints(e, extra) for e in value.elts)
     if isinstance(value, ast.NamedExpr):
-        return _taints(value.value)
+        return _taints(value.value, extra)
     return False
 
 
-def _tainted_names(func: ast.AST) -> set[str]:
+def _returns_alias(fn: ast.AST, tainting_names: frozenset[str]) -> bool:
+    """``fn`` has a ``return`` whose value aliases protected storage.
+
+    This is the seed/step predicate for the call graph's return-alias
+    fixpoint: ``tainting_names`` carries the helpers already known to
+    launder aliases, so indirection of any depth converges.
+    """
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Return)
+            and node.value is not None
+            and _taints(node.value, tainting_names)
+        ):
+            return True
+    return False
+
+
+def _tainted_names(func: ast.AST, extra: frozenset[str] = _NO_EXTRA) -> set[str]:
     """Names bound (anywhere in ``func``) from protected-array aliases."""
     tainted: set[str] = set()
     for node in ast.walk(func):
         if not isinstance(node, ast.Assign):
             continue
-        if not _taints(node.value):
+        if not _taints(node.value, extra):
             continue
         for target in node.targets:
             if isinstance(target, ast.Name):
@@ -141,6 +168,13 @@ def check(ctx) -> Iterator[Diagnostic]:
     )
     in_hierarchy_module = ctx.repro_parts[-2:] == ("core", "hierarchy.py")
 
+    # Module-local helpers that (transitively) return protected aliases:
+    # calling one taints the bound name exactly like a direct accessor.
+    laundering = frozenset(
+        qual.rpartition(".")[2]
+        for qual in ctx.callgraph.tainting_functions(_returns_alias)
+    )
+
     # Function-scope taint maps, computed lazily per enclosing function.
     taint_by_func: dict[ast.AST, set[str]] = {}
     func_of: dict[ast.stmt, ast.AST] = {}
@@ -155,7 +189,7 @@ def check(ctx) -> Iterator[Diagnostic]:
         if func is None:
             return set()
         if func not in taint_by_func:
-            taint_by_func[func] = _tainted_names(func)
+            taint_by_func[func] = _tainted_names(func, laundering)
         return taint_by_func[func]
 
     def _own_init_binding(stmt: ast.stmt, target: ast.expr) -> bool:

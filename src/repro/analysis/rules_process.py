@@ -18,12 +18,14 @@ wrapper) resurface.  The rule flags:
   *best-effort teardown idiom* (at most two simple statements: a call, an
   import, or a plain assignment — e.g. ``try: results.put(...) except
   Exception: pass`` on a dying queue);
-* a process entry point (any function handed to a ``target=`` kwarg)
-  with no broad handler anywhere in it or in a directly-called local
-  helper — exceptions would escape the process raw;
-* ``raise <builtin exception>`` inside a process entry point or its
-  direct local helpers — raise a ``ReproError`` subclass instead so the
-  error marshals typed instead of being wrapped opaquely.
+* a process entry point (a function handed to a ``Process(target=...)``
+  or ``Thread(target=...)`` call) with no broad handler anywhere in the
+  code it can reach — exceptions would escape the process raw;
+* ``raise <builtin exception>`` anywhere in the entry point's
+  *transitive* call-graph envelope (module-local reachability via
+  :class:`~repro.analysis.callgraph.ModuleCallGraph`, not just one hop)
+  — raise a ``ReproError`` subclass instead so the error marshals typed
+  instead of being wrapped opaquely.
 
 **RPA006 — pickle hygiene.**  Under the ``spawn`` start method the
 child *imports* its target, so lambdas and nested (local) functions
@@ -37,6 +39,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.analysis.astutil import call_attr
 from repro.analysis.diagnostics import Diagnostic
 
 CODES = {
@@ -134,11 +137,19 @@ def _module_functions(tree: ast.AST) -> dict[str, ast.FunctionDef]:
     }
 
 
+#: Call names whose ``target=`` kwarg is a process/thread entry point.
+#: (Restricting to these keeps unrelated APIs with a ``target=`` kwarg —
+#: e.g. a search request's target node — out of the worker envelope.)
+_ENTRY_CALLS = frozenset({"Process", "Thread"})
+
+
 def _entry_point_names(tree: ast.AST) -> set[str]:
-    """Names handed to ``target=`` — process entry points in this module."""
+    """Names handed to ``Process/Thread(target=...)`` in this module."""
     names: set[str] = set()
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node.func) not in _ENTRY_CALLS:
             continue
         for kw in node.keywords:
             if kw.arg == "target" and isinstance(kw.value, ast.Name):
@@ -147,19 +158,20 @@ def _entry_point_names(tree: ast.AST) -> set[str]:
 
 
 def _worker_scope(
-    entry: ast.FunctionDef, functions: dict[str, ast.FunctionDef]
+    ctx, entry_name: str, functions: dict[str, ast.FunctionDef]
 ) -> list[ast.FunctionDef]:
-    """The entry point plus directly-called sibling functions (one hop)."""
-    scope = [entry]
-    for node in ast.walk(entry):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in functions
-            and functions[node.func.id] is not entry
-        ):
-            scope.append(functions[node.func.id])
-    return scope
+    """Every module-local function the entry point can reach.
+
+    Transitive closure over the module call graph — a builtin ``raise``
+    three helpers deep still crosses the process boundary untyped, so the
+    whole reachable envelope is in scope (the old rule stopped one hop
+    out and missed exactly those).
+    """
+    graph = ctx.callgraph
+    return [
+        graph.functions[qual]
+        for qual in sorted(graph.reachable([entry_name]))
+    ]
 
 
 def _nested_function_names(tree: ast.AST) -> set[str]:
@@ -234,7 +246,7 @@ def check(ctx) -> Iterator[Diagnostic]:
         entry = functions.get(name)
         if entry is None:
             continue  # imported target — analyzed in its home module
-        scope = _worker_scope(entry, functions)
+        scope = _worker_scope(ctx, name, functions) or [entry]
         if not any(_has_broad_handler(f) for f in scope):
             yield ctx.diagnostic(
                 entry,
@@ -264,6 +276,10 @@ def check(ctx) -> Iterator[Diagnostic]:
     # --- RPA006: shipped callables must be importable ------------------
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
+            continue
+        if call_attr(node.func) == "Thread":
+            # Threads share the address space: the target is never
+            # pickled, so closures and lambdas are fine there.
             continue
         for kw in node.keywords:
             if kw.arg in _CALLABLE_KWARGS:

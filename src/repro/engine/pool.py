@@ -89,6 +89,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.analysis import sanitize
+from repro.analysis.schedule import schedule_point
 from repro.exceptions import PoolError, ReproError
 
 #: Segment-name prefix; includes the owning pid so a leak check (and a
@@ -440,8 +441,8 @@ class EvaluationPool:
             start_method = "fork"
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = self._ctx.get_start_method()
-        self._tasks = self._ctx.Queue()
-        self._results = self._ctx.Queue()
+        self._tasks = self._new_queue()
+        self._results = self._new_queue()
         self._procs: list = []
         self._registry: dict[str, _Segment] = {}
         self._task_ids = itertools.count()
@@ -469,6 +470,16 @@ class EvaluationPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _new_queue(self):
+        """Build one task/result queue.
+
+        A seam on purpose: the deterministic-schedule tests
+        (``repro.analysis.schedule``) subclass the pool and return an
+        in-process queue here, so pool logic runs under the virtual
+        scheduler with no real child processes involved.
+        """
+        return self._ctx.Queue()
 
     def _ensure_started(self) -> None:
         if self._closed:
@@ -528,8 +539,9 @@ class EvaluationPool:
                 q.cancel_join_thread()
             except Exception:
                 pass
-        self._tasks = self._ctx.Queue()
-        self._results = self._ctx.Queue()
+        schedule_point("pool.restart.rebuild")
+        self._tasks = self._new_queue()
+        self._results = self._new_queue()
         self.respawns += 1
         self._ensure_started()
 
@@ -594,6 +606,7 @@ class EvaluationPool:
             pass
 
     def _evict_one(self) -> None:
+        schedule_point("pool.evict")
         victims = [
             e
             for e in self._registry.values()
@@ -622,6 +635,7 @@ class EvaluationPool:
         Plans without a content key (``plan_cacheable`` false policies)
         cannot be pinned — they have no stable identity to release later.
         """
+        schedule_point("pool.publish")
         if self._closed:
             raise PoolError("the evaluation pool is closed")
         if hierarchy is None:
@@ -653,6 +667,7 @@ class EvaluationPool:
 
     def release(self, key: str) -> None:
         """Drop one :meth:`publish(pin=True) <publish>` hold on ``key``."""
+        schedule_point("pool.release")
         entry = self._registry.get(key)
         if entry is None or entry.pins <= 0:
             raise PoolError(f"plan {key[:12]!r}... is not pinned in this pool")
@@ -666,6 +681,7 @@ class EvaluationPool:
         )
 
     def _acquire_for_walk(self, plan, hierarchy) -> tuple[str, str]:
+        schedule_point("pool.acquire_for_walk")
         key = self.publish(plan, hierarchy)
         entry = self._registry[key]
         entry.active += 1
@@ -673,6 +689,7 @@ class EvaluationPool:
         return key, entry.shm.name
 
     def _release_after_walk(self, key: str) -> None:
+        schedule_point("pool.release_after_walk")
         entry = self._registry.get(key)
         if entry is None:
             return
@@ -770,6 +787,7 @@ class EvaluationPool:
         """
         respawn_rounds = 0
         while pending:
+            schedule_point("pool.collect")
             try:
                 task_id, status, payload = self._results.get(
                     timeout=_POLL_INTERVAL
@@ -797,9 +815,15 @@ class EvaluationPool:
                 self._route_stream(task_id, status, payload)
                 continue
             del pending[task_id]
-            if status == "error":
+            if status == "ok":
+                handlers[task_id](payload)
+            elif status == "error":
                 raise self._as_exception(payload)
-            handlers[task_id](payload)
+            else:
+                raise PoolError(
+                    f"unknown result status {status!r} from worker "
+                    f"(task {task_id})"
+                )
 
     # ------------------------------------------------------------------
     # Streaming mode
@@ -1043,6 +1067,7 @@ class PlanStream:
             )
         if subset.size == 0:
             raise PoolError("a stream batch needs at least one target")
+        schedule_point("stream.submit")
         ticket = next(self._pool._task_ids)
         frames = [(ROOT, subset, 0, 0.0)]
         msg = (
@@ -1059,6 +1084,7 @@ class PlanStream:
     # Collection
     # ------------------------------------------------------------------
     def _deliver(self, ticket: int, status: str, payload) -> None:
+        schedule_point("stream.deliver")
         self._pending.discard(ticket)
         self._ready.append((ticket, status, payload))
         # A delivery proves the pool is alive again: the poll-side respawn
@@ -1089,6 +1115,7 @@ class PlanStream:
         ``run_batch`` applies, so neither collection style can hang on a
         repeatedly dying worker.
         """
+        schedule_point("stream.recover_after_death")
         respawn_rounds += 1
         if respawn_rounds > _MAX_RESPAWNS:
             raise PoolError(
@@ -1111,6 +1138,7 @@ class PlanStream:
         :class:`StreamBatch` whose ``error`` is set, so streaming
         consumers can attribute the failure without losing the stream.
         """
+        schedule_point("stream.poll")
         while True:
             try:
                 task_id, status, payload = self._pool._results.get_nowait()

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis import sanitize
+from repro.analysis.schedule import schedule_point
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.oracle import Oracle
 from repro.core.session import SearchResult, default_budget
@@ -517,6 +518,7 @@ class _PlanGroup:
 
     def dispatch_stream(self) -> None:
         """Ship the sessions admitted since the last tick as one batch."""
+        schedule_point("serve.dispatch_stream")
         if not self.incoming or self.stream is None:
             return
         batch = list(self.incoming)
@@ -542,6 +544,7 @@ class _PlanGroup:
         past the respawn budget) degrades the group to local stepping
         outright; the server never dies on a session or pool failure.
         """
+        schedule_point("serve.collect_stream")
         outcomes: list[SessionOutcome] = []
         if not self.tickets:
             return outcomes
@@ -664,6 +667,7 @@ class Server:
 
     def close(self) -> None:
         """Close pool streams and release pinned plan segments."""
+        schedule_point("serve.close")
         if self._closed:
             return
         self._closed = True
@@ -709,6 +713,7 @@ class Server:
         the pool's refcounted registry — a registration is real memory,
         and :meth:`release_plan` returns it.
         """
+        schedule_point("serve.register_plan")
         if self._closed:
             raise ServeError("the server is closed")
         key = self._plan_key(plan)
@@ -744,6 +749,7 @@ class Server:
 
     def release_plan(self, plan: CompiledPlan, tenant: str = "default") -> None:
         """Drop a tenant's registration (and its pool pin)."""
+        schedule_point("serve.release_plan")
         key = self._plan_key(plan)
         held = self._tenant_plans.get(tenant, set())
         if key not in held:
@@ -814,6 +820,7 @@ class Server:
         capacity and the waiting queue are full — the producer should back
         off.
         """
+        schedule_point("serve.submit")
         if self._closed:
             raise ServeError("the server is closed")
         try:
@@ -841,6 +848,7 @@ class Server:
             self.stats.peak_in_flight = self._active
 
     def _admit_from_queue(self) -> None:
+        schedule_point("serve.admit_from_queue")
         while self._queue and self._active < self.max_sessions:
             request = self._queue.popleft()
             group, target_ix = self._resolve(request)
@@ -860,6 +868,7 @@ class Server:
         groups take one vectorized step.  Freed capacity admits queued
         sessions for the *next* tick.
         """
+        schedule_point("serve.step")
         if self._closed:
             raise ServeError("the server is closed")
         outcomes: list[SessionOutcome] = []
@@ -886,6 +895,7 @@ class Server:
         outcomes: list[SessionOutcome] = []
         idle_ticks = 0
         while self.in_flight or self._queue:
+            schedule_point("serve.drain")
             finished = self.step()
             outcomes.extend(finished)
             if finished:

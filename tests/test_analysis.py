@@ -377,6 +377,250 @@ def start(ctx, q):
 
 
 # ----------------------------------------------------------------------
+# RPA007 — message protocol conformance
+# ----------------------------------------------------------------------
+class TestProtocolRule:
+    def test_unhandled_tag_flagged(self):
+        src = """
+def feed(tasks):
+    tasks.put(("walk", 1, None))
+    tasks.put(("frobnicate", 2, None))
+
+def worker(tasks, out):
+    msg = tasks.get()
+    kind = msg[0]
+    if kind == "walk":
+        out.append(msg[1])
+"""
+        findings = check(src, select=["RPA007"])
+        assert len(findings) == 1
+        assert "'frobnicate'" in findings[0].message
+        assert "no consumer dispatches" in findings[0].message
+
+    def test_dead_dispatch_branch_flagged(self):
+        src = """
+def feed(tasks):
+    tasks.put(("walk", 1))
+
+def worker(tasks):
+    msg = tasks.get()
+    kind = msg[0]
+    if kind == "wlak":
+        return 1
+    elif kind == "walk":
+        return 2
+    else:
+        raise ValueError(kind)
+"""
+        findings = check(src, select=["RPA007"])
+        assert len(findings) == 1
+        assert "'wlak'" in findings[0].message and "dead" in findings[0].message
+
+    def test_duplicate_tag_flagged(self):
+        src = """
+def worker(tasks):
+    msg = tasks.get()
+    kind = msg[0]
+    if kind == "walk":
+        return 1
+    elif kind == "walk":
+        return 2
+    else:
+        raise ValueError(kind)
+"""
+        findings = check(src, select=["RPA007"])
+        assert len(findings) == 1
+        assert "unreachable" in findings[0].message
+
+    def test_missing_terminal_else_flagged(self):
+        src = """
+def worker(tasks):
+    msg = tasks.get()
+    kind = msg[0]
+    if kind == "walk":
+        return 1
+    elif kind == "sleep":
+        return 2
+"""
+        findings = check(src, select=["RPA007"])
+        assert len(findings) == 1
+        assert "no terminal else" in findings[0].message
+
+    def test_conforming_protocol_clean(self):
+        src = """
+def feed(tasks):
+    tasks.put(("walk", 1, None))
+    tasks.put(("sleep", 2, 0.5))
+
+def worker(tasks, out):
+    while True:
+        msg = tasks.get()
+        if msg is None:
+            return
+        kind, task_id = msg[0], msg[1]
+        if kind == "walk":
+            out.append(task_id)
+        elif kind == "sleep":
+            out.append(None)
+        else:
+            raise ValueError(kind)
+"""
+        assert check(src, select=["RPA007"]) == []
+
+    def test_producer_only_module_clean(self):
+        # The consumer lives in another module; nothing to audit here.
+        src = 'def feed(tasks):\n    tasks.put(("walk", 1))\n'
+        assert check(src, select=["RPA007"]) == []
+
+
+# ----------------------------------------------------------------------
+# RPA008 — acquire/release pairing
+# ----------------------------------------------------------------------
+class TestResourcePairingRule:
+    def test_pin_without_release_flagged(self):
+        src = """
+class Holder:
+    def grab(self, pool, plan):
+        self.key = pool.publish(plan, pin=True)
+"""
+        findings = check(src, select=["RPA008"])
+        assert len(findings) == 1
+        assert "release" in findings[0].message
+
+    def test_pin_with_class_scope_release_clean(self):
+        src = """
+class Holder:
+    def grab(self, pool, plan):
+        self.key = pool.publish(plan, pin=True)
+
+    def drop(self, pool):
+        pool.release(self.key)
+"""
+        assert check(src, select=["RPA008"]) == []
+
+    def test_unprotected_same_function_pair_flagged(self):
+        src = """
+def walk_once(pool, plan, hierarchy):
+    key, seg = pool._acquire_for_walk(plan, hierarchy)
+    run(seg)
+    pool._release_after_walk(key)
+"""
+        findings = check(src, select=["RPA008"])
+        assert len(findings) == 1
+        assert "try/finally" in findings[0].message
+
+    def test_try_finally_pair_clean(self):
+        src = """
+def walk_once(pool, plan, hierarchy):
+    key, seg = pool._acquire_for_walk(plan, hierarchy)
+    try:
+        run(seg)
+    finally:
+        pool._release_after_walk(key)
+"""
+        assert check(src, select=["RPA008"]) == []
+
+    def test_escape_to_owner_clean(self):
+        src = """
+class Stream:
+    def __init__(self, pool, plan, hierarchy):
+        self._pool = pool
+        self._key, self._seg = pool._acquire_for_walk(plan, hierarchy)
+
+    def close(self):
+        self._pool._release_after_walk(self._key)
+"""
+        assert check(src, select=["RPA008"]) == []
+
+    def test_shared_memory_create_without_unlink_flagged(self):
+        src = """
+from multiprocessing import shared_memory
+
+def make_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+"""
+        findings = check(src, select=["RPA008"])
+        assert len(findings) == 1
+        assert "unlink" in findings[0].message
+
+    def test_shared_memory_with_unlink_clean(self):
+        src = """
+from multiprocessing import shared_memory
+
+def make_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+def drop_segment(shm):
+    shm.close()
+    shm.unlink()
+"""
+        assert check(src, select=["RPA008"]) == []
+
+
+# ----------------------------------------------------------------------
+# Interprocedural reach (the call-graph layer under RPA002/RPA005)
+# ----------------------------------------------------------------------
+class TestInterprocedural:
+    def test_two_hop_alias_laundering_flagged(self):
+        src = """
+def _arrays(plan):
+    return plan.query_ix
+
+def _query(plan):
+    return _arrays(plan)
+
+def hack(plan):
+    arr = _query(plan)
+    arr[0] = 3
+"""
+        assert codes_of(check(src, select=["RPA002"])) == ["RPA002"]
+
+    def test_copy_returning_helper_clean(self):
+        src = """
+def _snapshot(plan):
+    return plan.query_ix.copy()
+
+def fine(plan):
+    arr = _snapshot(plan)
+    arr[0] = 3
+"""
+        assert check(src, select=["RPA002"]) == []
+
+    def test_builtin_raise_two_calls_deep_flagged(self):
+        src = """
+def _validate(msg):
+    if msg is None:
+        raise ValueError("no message")
+    return msg
+
+def _handle(msg):
+    return _validate(msg)
+
+def _worker(tasks, results):
+    while True:
+        try:
+            results.put(_handle(tasks.get()))
+        except BaseException as exc:
+            results.put(exc)
+
+def start(ctx):
+    return ctx.Process(target=_worker)
+"""
+        findings = check(src, select=["RPA005"])
+        assert any("ReproError" in d.message for d in findings)
+
+    def test_non_process_target_call_is_not_an_entry(self):
+        src = """
+def _job():
+    raise ValueError("not a worker, no envelope needed")
+
+def start(registry):
+    return registry.Timer(target=_job)
+"""
+        assert check(src, select=["RPA005"]) == []
+
+
+# ----------------------------------------------------------------------
 # Suppression: noqa and baseline
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -437,6 +681,7 @@ class TestDriver:
     def test_rule_registry_complete(self):
         assert sorted(RULES) == [
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
+            "RPA007", "RPA008",
         ]
 
     def test_repo_tree_is_clean(self):
@@ -468,6 +713,112 @@ class TestDriver:
         from repro.cli import main as repro_main
 
         assert repro_main(["lint", "src/repro", "-q"]) == 0
+
+    def test_cli_github_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def hack(plan):\n    plan.query_ix[0] = 3\n")
+        assert lint_main([str(bad), "--format=github"]) == 1
+        out = capsys.readouterr().out
+        assert (
+            f"::error file={bad.as_posix()},line=2,title=RPA002::" in out
+        )
+
+    def test_cli_unknown_ignore_code_fails_loudly(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main(["--ignore", "RPA999", str(clean)]) == 2
+        assert "RPA999" in capsys.readouterr().err
+
+    def test_diagnostics_order_is_input_order_independent(self, tmp_path):
+        one = tmp_path / "a_mod.py"
+        one.write_text(
+            "def hack(plan):\n"
+            "    plan.query_ix[0] = 3\n"
+            "    plan.yes_child[0] = 1\n"
+        )
+        two = tmp_path / "z_mod.py"
+        two.write_text("def hack(plan):\n    plan.no_child[0] = 7\n")
+        forward = lint_paths([one, two])
+        backward = lint_paths([two, one])
+        assert forward == backward
+        keys = [(d.path, d.line, d.code, d.message) for d in forward]
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Lint profiles (tests/benchmarks trees)
+# ----------------------------------------------------------------------
+class TestLintProfiles:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(AnalysisError, match="profile"):
+            check("x = 1\n", profile="nope")
+
+    def test_tests_profile_scopes_rpa004_everywhere(self):
+        # Outside the repro package RPA004 is normally silent; the tests
+        # profile drops the package gate so test/bench code is audited.
+        src = "import numpy as np\n\ndef seed():\n    np.random.seed(0)\n"
+        assert check(src, path="tests/test_x.py", select=["RPA004"]) == []
+        findings = check(
+            src, path="tests/test_x.py", select=["RPA004"], profile="tests"
+        )
+        assert codes_of(findings) == ["RPA004"]
+
+    def test_tests_profile_tolerates_wall_clock(self):
+        # Tests time things legitimately; the determinism rule keeps its
+        # RNG checks but drops wall-clock verdicts under this profile.
+        src = "import time\n\ndef elapsed(t0):\n    return time.time() - t0\n"
+        assert (
+            check(
+                src, path="tests/test_x.py", select=["RPA004"],
+                profile="tests",
+            )
+            == []
+        )
+
+    def test_cli_profile_flag(self, tmp_path, capsys):
+        bad = tmp_path / "test_timing.py"
+        bad.write_text("import numpy as np\n\ndef s():\n    np.random.seed(0)\n")
+        assert lint_main([str(bad), "-q"]) == 0  # out of scope by default
+        assert lint_main([str(bad), "--profile", "tests", "-q"]) == 1
+
+    def test_repo_test_and_bench_trees_clean_under_tests_profile(self):
+        findings = lint_paths(
+            ["tests", "benchmarks"],
+            select=["RPA004", "RPA006"],
+            profile="tests",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline drift
+# ----------------------------------------------------------------------
+class TestBaselineDrift:
+    SRC = (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+
+    def _baselined(self, tmp_path):
+        mod = tmp_path / "repro" / "engine" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(self.SRC)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([mod]))
+        return mod, baseline
+
+    def test_line_move_stays_suppressed(self, tmp_path):
+        mod, baseline = self._baselined(tmp_path)
+        mod.write_text("# one\n# two\n# three\n" + self.SRC)
+        assert lint_paths([mod], baseline=str(baseline)) == []
+
+    def test_content_change_resurfaces(self, tmp_path):
+        mod, baseline = self._baselined(tmp_path)
+        mod.write_text(self.SRC.replace("time.time()", "time.time() + 1"))
+        survivors = lint_paths([mod], baseline=str(baseline))
+        assert codes_of(survivors) == ["RPA004"]
 
 
 # ----------------------------------------------------------------------
