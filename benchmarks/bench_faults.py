@@ -1,0 +1,371 @@
+"""Chaos soak: seeded fault schedules against the real pool + server.
+
+The resilience layer's acceptance gate.  Hundreds of seeded random
+:class:`~repro.faults.FaultPlan` schedules (worker kills, injected typed
+crashes, slow boundaries) run against a live
+:class:`~repro.engine.EvaluationPool` and :class:`~repro.serve.Server`,
+plus a handful of scripted segment-attack schedules (vanish/corrupt a
+published shared-memory segment under a worker kill) on throwaway pools.
+For every schedule the soak asserts:
+
+* **termination** — each serve run finishes within a wall-clock bound
+  (deadlines + the circuit breaker make a hang a bug, not load);
+* **typed errors only** — every failed session carries a
+  :class:`~repro.exceptions.ReproError` subclass, and anything escaping
+  the serve loop is typed too; any other exception is a violation
+  recorded with its replayable ``(seed, trace)``;
+* **bit-identity** — every session that *completed* returns exactly the
+  fault-free result (count, price, transcript), no matter how many
+  faults its schedule fired around it;
+* **trip -> cooldown -> probe -> restore** — a degraded plan group
+  returns to streaming through the breaker (``stats.trips`` and
+  ``stats.restores`` both advance in the scripted recovery scenario);
+* **<1% overhead with faults off** — the per-crossing cost of the
+  disarmed ``schedule_point`` hook, projected over a serve run's
+  measured crossing count, stays under 1% of the fault-free wall time.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py           # full soak
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke   # CI gate
+
+or as part of the benchmark suite (``pytest benchmarks/bench_faults.py``).
+Both entry points write ``BENCH_faults.json`` at the repo root.
+Environment knobs:
+
+``REPRO_BENCH_FAULTS_SCHEDULES``
+    Number of seeded random schedules (default 200; the CI spawn leg
+    sets a smaller count — respawns are much costlier under spawn).
+``REPRO_BENCH_FAULTS_SESSIONS``
+    Sessions per schedule (default 24).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (already importable: installed or pythonpath)
+except ImportError:  # standalone `python benchmarks/bench_faults.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_json import write_bench_json
+from repro.analysis.schedule import schedule_point
+from repro.core.oracle import ExactOracle
+from repro.core.session import run_search
+from repro.engine import EvaluationPool
+from repro.exceptions import ReproError
+from repro.faults import FaultPlan, FaultSpec
+from repro.plan import compile_policy
+from repro.policies import GreedyTreePolicy
+from repro.serve import Server, SessionRequest
+from repro.testing import make_random_tree, random_distribution
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+#: Wall-clock bound per schedule: a serve run exceeding this hung.
+_SCHEDULE_BOUND_S = 60.0
+
+
+def _config(n=60, seed=0):
+    hierarchy = make_random_tree(n, seed=seed)
+    distribution = random_distribution(hierarchy, seed)
+    plan = compile_policy(GreedyTreePolicy(), hierarchy, distribution)
+    return plan, hierarchy
+
+
+def _serve_once(server, targets):
+    outcomes = {}
+    escaped = None
+    try:
+        for o in server.serve(
+            SessionRequest(t, target=t) for t in targets
+        ):
+            outcomes[o.session_id] = o
+    except ReproError as exc:
+        escaped = exc  # typed: the schedule cut the feed short, legally
+    return outcomes, escaped
+
+
+def _check_outcomes(outcomes, reference, seed, trace, violations):
+    for sid, outcome in outcomes.items():
+        if outcome.ok:
+            if outcome.result != reference[sid]:
+                violations.append(
+                    f"seed {seed}: session {sid!r} diverged from the "
+                    f"fault-free result (trace {trace})"
+                )
+        elif not isinstance(outcome.error, ReproError):
+            violations.append(
+                f"seed {seed}: session {sid!r} failed untyped "
+                f"({type(outcome.error).__name__}; trace {trace})"
+            )
+
+
+def _count_crossings(plan, targets):
+    """Boundary crossings in one serve run (armed zero-rate counter)."""
+    counter = FaultPlan.random(seed=0, rate=0.0)
+    with counter.armed():
+        with Server(plan) as server:
+            _serve_once(server, targets)
+    return sum(counter.counts.values())
+
+
+def _overhead_fraction(crossings, fault_free_wall):
+    """Disarmed-hook cost projected over one serve run's crossings."""
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        schedule_point("serve.step")
+    per_call = (time.perf_counter() - start) / reps
+    projected = per_call * crossings
+    return projected / fault_free_wall if fault_free_wall else 0.0
+
+
+def run_soak(schedules=200, sessions=24, rate=0.04) -> dict:
+    plan, hierarchy = _config()
+    targets = list(hierarchy.nodes)[:sessions]
+    reference = {
+        t: run_search(plan, ExactOracle(hierarchy, t), hierarchy)
+        for t in targets
+    }
+
+    # Fault-free wall time (hook installed but nothing armed) — the
+    # baseline for both bit-identity and the overhead projection.
+    with Server(plan) as server:
+        start = time.perf_counter()
+        clean, escaped = _serve_once(server, targets)
+        fault_free_wall = time.perf_counter() - start
+    assert escaped is None and all(o.ok for o in clean.values())
+
+    violations: list[str] = []
+    faults_fired = 0
+    sessions_completed = 0
+    sessions_errored = 0
+    escaped_typed = 0
+    trips = restores = 0
+
+    previous = os.environ.get("REPRO_FAULTS")
+    os.environ["REPRO_FAULTS"] = "1"
+    soak_start = time.perf_counter()
+    try:
+        # Phase 0: crossings per run, for the disarmed-overhead gate.
+        crossings = _count_crossings(plan, targets)
+
+        # Phase 1: seeded random schedules over one long-lived pool.
+        # Kills and crashes recover in place; segment attacks get their
+        # own throwaway pools below (a vanished segment poisons the
+        # plan's residency for every later schedule).
+        with EvaluationPool(workers=2) as pool:
+            for seed in range(schedules):
+                fault = FaultPlan.random(
+                    seed,
+                    rate=rate,
+                    kinds=("crash", "kill_worker", "slow"),
+                    max_faults=4,
+                )
+                server = Server(
+                    plan, pool=pool, deadline=10.0, breaker_cooldown=2
+                )
+                begin = time.perf_counter()
+                try:
+                    with fault.armed(pool=pool):
+                        outcomes, escaped = _serve_once(server, targets)
+                finally:
+                    server.close()
+                elapsed = time.perf_counter() - begin
+                if elapsed > _SCHEDULE_BOUND_S:
+                    violations.append(
+                        f"seed {seed}: schedule took {elapsed:.1f}s "
+                        f"(bound {_SCHEDULE_BOUND_S}s) — hang (trace "
+                        f"{fault.trace})"
+                    )
+                _check_outcomes(
+                    outcomes, reference, seed, fault.trace, violations
+                )
+                faults_fired += fault.fired
+                escaped_typed += escaped is not None
+                sessions_completed += sum(
+                    1 for o in outcomes.values() if o.ok
+                )
+                sessions_errored += sum(
+                    1 for o in outcomes.values() if not o.ok
+                )
+                trips += server.stats.trips
+                restores += server.stats.restores
+
+        # Phase 2: scripted segment attacks, one throwaway pool each.
+        segment_specs = [
+            ("vanish_segment", "serve.dispatch_stream"),
+            ("corrupt_segment", "serve.dispatch_stream"),
+            ("vanish_segment", "serve.collect_stream"),
+            ("corrupt_segment", "serve.collect_stream"),
+        ]
+        for i, (kind, site) in enumerate(segment_specs):
+            fault = FaultPlan(
+                [
+                    FaultSpec(kind, at=site, nth=2),
+                    FaultSpec("kill_worker", at="serve.step", nth=3),
+                ]
+            )
+            with EvaluationPool(workers=1) as mortal:
+                server = Server(
+                    plan, pool=mortal, deadline=10.0, breaker_cooldown=2
+                )
+                try:
+                    with fault.armed(pool=mortal):
+                        outcomes, escaped = _serve_once(server, targets)
+                finally:
+                    server.close()
+            _check_outcomes(
+                outcomes, reference, f"segment-{i}", fault.trace, violations
+            )
+            faults_fired += fault.fired
+            escaped_typed += escaped is not None
+
+        # Phase 3: scripted recovery — a degraded group must return to
+        # streaming through the breaker (trip AND restore observed).
+        with EvaluationPool(workers=1) as pool:
+            server = Server(plan, pool=pool, deadline=10.0, breaker_cooldown=2)
+            try:
+                outcomes = {}
+                for t in targets[: len(targets) // 2]:
+                    server.submit(SessionRequest(t, target=t))
+                outcomes.update(
+                    {o.session_id: o for o in server.drain(timeout=30.0)}
+                )
+                group = next(iter(server._groups.values()))
+                group._degrade_to_local()  # the failure-path entry point
+                pending = [t for t in targets if t not in outcomes]
+                give_up = time.monotonic() + 30.0
+                while (
+                    pending or server.in_flight
+                ) and time.monotonic() < give_up:
+                    if pending:
+                        server.submit(
+                            SessionRequest(pending[0], target=pending.pop(0))
+                        )
+                    for o in server.step():
+                        outcomes[o.session_id] = o
+                recovery_ok = (
+                    server.stats.trips >= 1
+                    and server.stats.restores >= 1
+                    and group.stream is not None
+                    and len(outcomes) == len(targets)
+                    and all(
+                        outcomes[t].ok and outcomes[t].result == reference[t]
+                        for t in targets
+                    )
+                )
+                trips += server.stats.trips
+                restores += server.stats.restores
+                if not recovery_ok:
+                    violations.append(
+                        "recovery scenario: degraded group did not restore "
+                        f"streaming (trips={server.stats.trips}, "
+                        f"restores={server.stats.restores}, "
+                        f"stream={'open' if group.stream else 'closed'}, "
+                        f"served={len(outcomes)}/{len(targets)})"
+                    )
+            finally:
+                server.close()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_FAULTS", None)
+        else:
+            os.environ["REPRO_FAULTS"] = previous
+    soak_wall = time.perf_counter() - soak_start
+
+    overhead = _overhead_fraction(crossings, fault_free_wall)
+    if overhead >= 0.01:
+        violations.append(
+            f"disarmed-hook overhead {overhead:.2%} of serve wall time "
+            f"(floor 1%; {crossings} crossings per run)"
+        )
+
+    payload = {
+        "benchmark": "bench_faults",
+        "n": hierarchy.n,
+        "schedules": schedules,
+        "sessions_per_schedule": len(targets),
+        "faults_fired": faults_fired,
+        "sessions_completed": sessions_completed,
+        "sessions_errored": sessions_errored,
+        "schedules_cut_short_typed": escaped_typed,
+        "breaker_trips": trips,
+        "breaker_restores": restores,
+        "hook_overhead_fraction": round(overhead, 6),
+        "crossings_per_run": crossings,
+        "soak_seconds": round(soak_wall, 3),
+        "violations": violations,
+        "ok": not violations,
+    }
+    write_bench_json(
+        "faults",
+        n_nodes=hierarchy.n,
+        wall_s=soak_wall,
+        speedup=1.0,  # a robustness gate, not a performance claim
+        schedules=schedules,
+        faults_fired=faults_fired,
+        sessions_completed=sessions_completed,
+        breaker_trips=trips,
+        breaker_restores=restores,
+        hook_overhead_fraction=round(overhead, 6),
+        violations=len(violations),
+        ok=not violations,
+    )
+    return payload
+
+
+def _default_schedules(smoke: bool) -> int:
+    return int(
+        os.environ.get(
+            "REPRO_BENCH_FAULTS_SCHEDULES", "60" if smoke else "200"
+        )
+    )
+
+
+def test_chaos_soak_holds_all_invariants(report):
+    """Acceptance: seeded fault schedules — no hangs, typed errors only,
+    bit-identical completions, breaker recovery, <1% disarmed overhead."""
+    payload = run_soak(
+        schedules=_default_schedules(smoke=True),
+        sessions=int(os.environ.get("REPRO_BENCH_FAULTS_SESSIONS", "24")),
+    )
+    report("bench_faults", json.dumps(payload, indent=2))
+    assert payload["ok"], "\n".join(payload["violations"])
+    assert payload["faults_fired"] > 0  # the soak actually injected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer schedules; exit nonzero on any violation",
+    )
+    args = parser.parse_args()
+    payload = run_soak(
+        schedules=_default_schedules(args.smoke),
+        sessions=int(os.environ.get("REPRO_BENCH_FAULTS_SESSIONS", "24")),
+    )
+    text = json.dumps(payload, indent=2)
+    print(text)
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "bench_faults.txt").write_text(text + "\n")
+    if payload["violations"]:
+        print(
+            f"FAIL: {len(payload['violations'])} soak violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

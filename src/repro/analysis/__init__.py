@@ -1,12 +1,13 @@
 """repro.analysis — invariant linter, protocol checker, schedule explorer.
 
-Static half (``python -m repro.analysis`` / ``repro lint``): eight
+Static half (``python -m repro.analysis`` / ``repro lint``): nine
 AST-level rules encoding the invariants the plan/pool/serve stack is
 built on — exact undo (RPA001), compiled-plan immutability (RPA002),
 shared-memory lifecycle (RPA003), hot-path determinism (RPA004),
 process-boundary exception discipline (RPA005), pickle hygiene
-(RPA006), the cross-process message-tag protocol (RPA007) and
-acquire/release resource pairing (RPA008).  RPA002/RPA005/RPA007/RPA008
+(RPA006), the cross-process message-tag protocol (RPA007),
+acquire/release resource pairing (RPA008) and fault-site registry
+discipline for ``schedule_point`` labels (RPA009).  RPA002/RPA005/RPA007/RPA008
 are interprocedural: each file's :class:`~repro.analysis.callgraph.
 ModuleCallGraph` closes call edges and return-alias taint transitively
 within the module.  Diagnostics print as ``file:line: RPAxxx message``

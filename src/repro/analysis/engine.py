@@ -22,6 +22,7 @@ from repro.analysis import (
     astutil,
     callgraph,
     rules_determinism,
+    rules_faults,
     rules_plan,
     rules_process,
     rules_protocol,
@@ -46,6 +47,7 @@ RULE_MODULES = (
     rules_determinism,
     rules_process,
     rules_protocol,
+    rules_faults,
 )
 
 #: Lint profiles scope rules to the kind of tree being analyzed.

@@ -53,6 +53,7 @@ __all__ = [
     "explore",
     "replay",
     "schedule_point",
+    "set_fault_hook",
 ]
 
 #: Hard ceiling on scheduler grants in one schedule; a loop that polls
@@ -82,14 +83,35 @@ def enabled() -> bool:
 #: must cost one load + one comparison when idle.
 _ACTIVE: "_Controller | None" = None
 
+#: The armed fault-injection hook (:mod:`repro.faults`), or None.  Same
+#: zero-cost-off contract as :data:`_ACTIVE`: one load + one comparison
+#: when nothing is armed.  Kept here (not in repro.faults) so the
+#: instrumented packages never import the faults layer.
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> None:
+    """Install (or clear, with ``None``) the fault-injection callback.
+
+    Called with each :func:`schedule_point` label *before* the scheduler
+    yield, so an injected crash surfaces at the boundary it targets even
+    under combined fault + schedule exploration.
+    """
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
 
 def schedule_point(label: str) -> None:
     """A potential context switch in instrumented code.
 
     No-op unless a schedule exploration is active *and* the calling
     thread is one of its managed tasks (worker processes and unrelated
-    threads fall through instantly).
+    threads fall through instantly), or a fault plan is armed
+    (``repro.faults``, which injects failures at these same boundaries).
     """
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook(label)
     active = _ACTIVE
     if active is None:
         return

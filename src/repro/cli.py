@@ -23,7 +23,10 @@ Three modes:
   1000`` pushes N concurrent sessions through the micro-batched streaming
   server (:mod:`repro.serve`) under admission control and reports
   throughput plus per-session question percentiles (``--pool`` offloads
-  the batches to the persistent worker pool's streaming mode).
+  the batches to the persistent worker pool's streaming mode;
+  ``--deadline`` bounds each pool batch, and ``--faults SEED`` arms a
+  seeded random fault schedule against the live server and prints the
+  fired trace — a one-line chaos drill).
 """
 
 from __future__ import annotations
@@ -140,6 +143,30 @@ def build_parser() -> argparse.ArgumentParser:
         "competitors' walks.  REPRO_POOL_WORKERS installs the same "
         "default without a flag",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="serve mode: per-batch pool deadline; a wedged worker "
+        "surfaces as a typed PoolTimeoutError (and a breaker trip) "
+        "instead of a hang",
+    )
+    parser.add_argument(
+        "--faults",
+        type=int,
+        metavar="SEED",
+        help="serve mode: arm a seeded random FaultPlan (implies "
+        "REPRO_FAULTS=1) and report the fired fault trace — a one-line "
+        "chaos drill against the live server",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.02,
+        metavar="P",
+        help="serve mode: per-boundary-crossing fault probability for "
+        "--faults (default: 0.02)",
+    )
     return parser
 
 
@@ -197,8 +224,12 @@ def _run_compile(args) -> int:
 
 def _run_serve(args) -> int:
     """Micro-batched serving demo: N sessions through ``repro.serve``."""
+    import contextlib
+    import os
+
     import numpy as np
 
+    from repro.exceptions import ReproError
     from repro.plan import CompiledPlan, compile_policy
     from repro.serve import Server, SessionRequest
 
@@ -228,11 +259,28 @@ def _run_serve(args) -> int:
         max_sessions=args.max_sessions,
         queue_limit=args.queue_limit,
         pool=pool,
+        deadline=args.deadline,
     )
+    fault = None
+    armed = contextlib.nullcontext()
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        os.environ["REPRO_FAULTS"] = "1"
+        fault = FaultPlan.random(args.faults, rate=args.fault_rate)
+        armed = fault.armed(pool=pool)
+    cut_short = None
     try:
         start = time.perf_counter()
         with server:
-            outcomes = list(server.serve(feed))
+            outcomes = []
+            with armed:
+                try:
+                    outcomes = list(server.serve(feed))
+                except ReproError as exc:
+                    if fault is None:
+                        raise
+                    cut_short = exc  # typed, replayable from the trace
         elapsed = time.perf_counter() - start
     finally:
         if pool is not None:
@@ -259,6 +307,17 @@ def _run_serve(args) -> int:
             f"  questions/session: mean {counts.mean():.2f}, p50 {p50:.0f}, "
             f"p90 {p90:.0f}, p99 {p99:.0f}, max {int(counts.max())}"
         )
+    if fault is not None:
+        print(
+            f"  faults: seed {fault.seed}, rate {args.fault_rate}, "
+            f"{fault.fired} fired, {stats.trips} breaker trip(s), "
+            f"{stats.restores} restore(s); trace {fault.trace}"
+        )
+        if cut_short is not None:
+            print(
+                f"  feed cut short (typed): "
+                f"{type(cut_short).__name__}: {cut_short}"
+            )
     return 0
 
 

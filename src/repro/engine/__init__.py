@@ -34,6 +34,7 @@ from repro.engine.parallel import (
 from repro.engine.pool import (
     EvaluationPool,
     PlanStream,
+    WorkerHealth,
     get_default_pool,
     resolve_pool,
     set_default_pool,
@@ -53,6 +54,7 @@ __all__ = [
     "PlanStream",
     "SPLITTER_KINDS",
     "VectorPolicy",
+    "WorkerHealth",
     "as_result_cache",
     "get_default_jobs",
     "get_default_pool",

@@ -27,13 +27,16 @@ from __future__ import annotations
 
 import hashlib
 import os
+import uuid
 import warnings
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.schedule import schedule_point
 from repro.core.hierarchy import Hierarchy
 from repro.exceptions import PlanError
+from repro.plan.plan import fsync_dir
 
 #: Conventional cache location (next to the plan cache).
 DEFAULT_RESULT_CACHE_DIR = "results/enginecache"
@@ -105,6 +108,7 @@ class EngineResultCache:
         that asked for validation must never be served numbers that were
         never validated.
         """
+        schedule_point("cache.result_get")
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
@@ -175,23 +179,40 @@ class EngineResultCache:
             )
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a crashed writer never leaves a torn file.
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            np.savez_compressed(
-                fh,
-                format=_FORMAT,
-                key=key,
-                policy=result.policy,
-                hierarchy=result.hierarchy.fingerprint(),
-                method=result.method,
-                decision_nodes=result.decision_nodes,
-                checked=bool(checked),
-                target_ix=result.target_ix,
-                queries=result.queries[result.target_ix],
-                prices=result.prices[result.target_ix],
-            )
-        tmp.replace(path)
+        # Crash-atomic write: uniquely named temporary (concurrent
+        # writers of the same key cannot clobber each other), fsync,
+        # rename, directory fsync — a writer dying at any point
+        # (including at the injectable ``cache.result_put`` boundary)
+        # leaves the old entry or none, never a torn file.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    format=_FORMAT,
+                    key=key,
+                    policy=result.policy,
+                    hierarchy=result.hierarchy.fingerprint(),
+                    method=result.method,
+                    decision_nodes=result.decision_nodes,
+                    checked=bool(checked),
+                    target_ix=result.target_ix,
+                    queries=result.queries[result.target_ix],
+                    prices=result.prices[result.target_ix],
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            schedule_point("cache.result_put")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        fsync_dir(path.parent)
         return path
 
     def __repr__(self) -> str:

@@ -90,7 +90,8 @@ import numpy as np
 
 from repro.analysis import sanitize
 from repro.analysis.schedule import schedule_point
-from repro.exceptions import PoolError, ReproError
+from repro.exceptions import PoolError, PoolTimeoutError, ReproError
+from repro.faults.resilience import RetryPolicy
 
 #: Segment-name prefix; includes the owning pid so a leak check (and a
 #: human inspecting ``/dev/shm``) can attribute segments to a process.
@@ -119,6 +120,16 @@ _MAX_RESPAWNS = 2
 
 #: Seconds a worker gets to exit voluntarily at close before termination.
 _JOIN_TIMEOUT = 5.0
+
+#: Worker-side segment-attach retries: a just-republished segment can be
+#: observed mid-swap (name unlinked, successor not yet created), which a
+#: short deterministic backoff absorbs without surfacing a transient
+#: PoolError to the walk.
+_ATTACH_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.1, seed=0xA77)
+
+#: Pacing between death-recovery rounds (restart + resubmit): backing off
+#: keeps a repeatedly dying pool from hot-looping through respawns.
+_RECOVERY_RETRY = RetryPolicy(attempts=_MAX_RESPAWNS + 1, base_delay=0.05, seed=0x9E)
 
 
 def _align(offset: int) -> int:
@@ -209,19 +220,30 @@ def _attach_segment(seg_name: str, key: str):
     """
     from repro.plan import CompiledPlan
 
+    schedule_point("pool.attach")
     # Note on the resource tracker: until 3.13 *attaching* a segment
     # registers it too.  Parent and workers share one tracker process
     # (its fd is inherited under fork and spawn alike) whose cache is a
     # set, so the duplicate registrations are idempotent and the parent's
     # eventual ``unlink()`` unregisters the name exactly once — workers
     # must NOT unregister, or they would erase the parent's registration.
-    try:
-        shm = shared_memory.SharedMemory(name=seg_name)
-    except (FileNotFoundError, OSError) as exc:
+    shm = None
+    last_exc: Exception | None = None
+    for pause in (*_ATTACH_RETRY.delays(), None):
+        try:
+            shm = shared_memory.SharedMemory(name=seg_name)
+            break
+        except (FileNotFoundError, OSError) as exc:
+            last_exc = exc
+            if pause is None:
+                break
+            time.sleep(pause)  # repro: noqa RPA004 - deterministic attach-retry backoff, not result data
+    if shm is None:
         raise PoolError(
             f"shared plan segment {seg_name!r} is gone (evicted or never "
-            f"published): {exc}"
-        ) from exc
+            f"published) after {_ATTACH_RETRY.attempts} attach attempts: "
+            f"{last_exc}"
+        ) from last_exc
     try:
         meta_len = int.from_bytes(bytes(shm.buf[:8]), "little")
         if not 0 < meta_len <= shm.size - 8:
@@ -334,6 +356,9 @@ def _worker_main(tasks, results) -> None:
 
 
 def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
+    # Results carry the worker's pid so the parent can attribute errors
+    # ("task 17 on worker pid 4242") and keep per-worker health counters.
+    pid = os.getpid()
     while True:
         try:
             msg = tasks.get()
@@ -361,13 +386,15 @@ def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
                         task_id,
                         "ok",
                         (evaluated, queries[evaluated], prices[evaluated], visited),
+                        pid,
                     )
                 )
             elif kind == "sleep":
-                # Failure-injection aid for the test suite: occupies this
-                # worker so tests can kill it mid-task deterministically.
+                # Failure-injection aid for the test suite and the fault
+                # layer's "stall" kind: occupies this worker so callers
+                # can wedge or kill it mid-task deterministically.
                 time.sleep(float(msg[2]))  # repro: noqa RPA004 - test-only stall task; never feeds results
-                results.put((task_id, "ok", None))
+                results.put((task_id, "ok", None, pid))
             else:
                 raise PoolError(f"unknown pool task kind {kind!r}")
         except BaseException as exc:
@@ -376,7 +403,7 @@ def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
             except Exception:
                 payload = f"{type(exc).__name__}: {exc}"
             try:
-                results.put((task_id, "error", payload))
+                results.put((task_id, "error", payload, pid))
             except Exception:
                 pass
 
@@ -384,6 +411,30 @@ def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
 # ----------------------------------------------------------------------
 # The pool
 # ----------------------------------------------------------------------
+class WorkerHealth:
+    """Heartbeat record for one pool worker, surfaced by ``pool.health()``.
+
+    ``last_seen`` is the parent's monotonic clock at the worker's most
+    recent result; ``None`` until the worker has produced one.
+    """
+
+    __slots__ = ("pid", "alive", "completed", "errors", "last_seen")
+
+    def __init__(self, pid: int, alive: bool = True) -> None:
+        self.pid = pid
+        self.alive = alive
+        self.completed = 0
+        self.errors = 0
+        self.last_seen: float | None = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (
+            f"WorkerHealth(pid={self.pid}, {state}, "
+            f"completed={self.completed}, errors={self.errors})"
+        )
+
+
 class _Segment:
     """Registry entry: one published plan and its lifecycle counters."""
 
@@ -414,6 +465,15 @@ class EvaluationPool:
         ``multiprocessing`` start method for the workers.  ``None`` reads
         ``REPRO_POOL_START_METHOD``, then prefers ``fork`` where available
         (the no-fork fallback path is exercised by passing ``"spawn"``).
+    deadline:
+        Default per-call collection deadline in seconds for
+        :meth:`run_batch`/:meth:`run_walk` and for streams opened by
+        :meth:`stream` — :class:`~repro.exceptions.PoolTimeoutError` is
+        raised when results stop arriving for that long with buckets
+        still outstanding, naming the wedged task ids and worker pids.
+        ``None`` (the default, or ``REPRO_POOL_DEADLINE`` when set)
+        preserves the historical wait-forever-on-a-live-worker behavior;
+        liveness polling still recovers *dead* workers either way.
 
     Use as a context manager, or rely on the ``atexit`` hook — either way
     every worker is joined and every segment unlinked; no shared memory
@@ -428,10 +488,17 @@ class EvaluationPool:
         *,
         max_plans: int = 8,
         start_method: str | None = None,
+        deadline: float | None = None,
     ) -> None:
         if workers is None or int(workers) <= 0:
             workers = max(1, os.cpu_count() or 1)
         self.workers = int(workers)
+        if deadline is None:
+            env_deadline = os.environ.get("REPRO_POOL_DEADLINE")
+            deadline = float(env_deadline) if env_deadline else None
+        if deadline is not None and deadline <= 0:
+            raise PoolError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
         if max_plans < 1:
             raise PoolError(f"max_plans must be >= 1, got {max_plans}")
         self.max_plans = int(max_plans)
@@ -455,6 +522,8 @@ class EvaluationPool:
         #: Every segment name this pool ever created; close() asserts (under
         #: REPRO_SANITIZE=1) that none of them survives in /dev/shm.
         self._created_segments: set[str] = set()
+        #: Per-worker heartbeat records, keyed by pid (see :meth:`health`).
+        self._health: dict[int, WorkerHealth] = {}
         self._closed = False
         #: Walks served, workers respawned after a death, segments evicted.
         self.walks = 0
@@ -510,6 +579,9 @@ class EvaluationPool:
         )
         proc.start()
         self._procs.append(proc)
+        pid = getattr(proc, "pid", None)
+        if pid is not None and pid not in self._health:
+            self._health[pid] = WorkerHealth(pid)
 
     def _restart(self) -> None:
         """Nuke-and-repave after a worker death: fresh queues, fresh workers.
@@ -583,6 +655,49 @@ class EvaluationPool:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # ------------------------------------------------------------------
+    # Worker health
+    # ------------------------------------------------------------------
+    def _note_result(self, pid, status: str) -> None:
+        """Heartbeat bookkeeping for one received worker result."""
+        if pid is None:
+            return
+        entry = self._health.get(pid)
+        if entry is None:
+            entry = self._health[pid] = WorkerHealth(pid)
+        if status == "error":
+            entry.errors += 1
+        else:
+            entry.completed += 1
+        entry.last_seen = time.monotonic()  # repro: noqa RPA004 - heartbeat timestamp, not result data
+
+    def health(self) -> list[WorkerHealth]:
+        """Heartbeat records for the current worker set, sorted by pid.
+
+        ``alive`` is refreshed from the process table on every call;
+        counters survive across results but not across a pool
+        :meth:`_restart` pid change (fresh workers get fresh records).
+        """
+        out = []
+        for proc in self._procs:
+            pid = getattr(proc, "pid", None)
+            if pid is None:
+                continue
+            entry = self._health.get(pid)
+            if entry is None:
+                entry = self._health[pid] = WorkerHealth(pid)
+            entry.alive = proc.is_alive()
+            out.append(entry)
+        out.sort(key=lambda e: e.pid)
+        return out
+
+    def _live_pids(self) -> list[int]:
+        return sorted(
+            proc.pid
+            for proc in self._procs
+            if getattr(proc, "pid", None) is not None and proc.is_alive()
+        )
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else f"{len(self._procs)} live"
@@ -702,19 +817,23 @@ class EvaluationPool:
     # Walks
     # ------------------------------------------------------------------
     def run_walk(
-        self, plan, hierarchy, model, target_ix, queries, prices, budget, check
+        self, plan, hierarchy, model, target_ix, queries, prices, budget, check,
+        *, deadline: float | None = None,
     ) -> int:
         """One sharded plan walk on the warm pool; returns nodes visited.
 
         Same contract as :func:`repro.engine.parallel.run_parallel_walk` —
         per-target arrays and the visited count are bit-identical to the
         sequential walk — minus the per-call fork/pickle overhead.
+        ``deadline`` bounds the collection wait exactly as in
+        :meth:`run_batch` (the single-task path shares the same collector).
         """
         return self.run_batch(
-            [(plan, hierarchy, model, target_ix, queries, prices, budget, check)]
+            [(plan, hierarchy, model, target_ix, queries, prices, budget, check)],
+            deadline=deadline,
         )[0]
 
-    def run_batch(self, requests) -> list[int]:
+    def run_batch(self, requests, *, deadline: float | None = None) -> list[int]:
         """Overlap several plan walks; returns visited counts per request.
 
         Each request is ``(plan, hierarchy, model, target_ix, queries,
@@ -771,58 +890,87 @@ class EvaluationPool:
 
                     handlers[task_id] = scatter
                     self._tasks.put(msg)
-            self._collect(pending, handlers)
+            self._collect(
+                pending,
+                handlers,
+                deadline=self.deadline if deadline is None else deadline,
+            )
             self.walks += len(requests)
         finally:
             for key in acquired:
                 self._release_after_walk(key)
         return totals
 
-    def _collect(self, pending: dict, handlers: dict) -> None:
+    def _collect(
+        self, pending: dict, handlers: dict, *, deadline: float | None = None
+    ) -> None:
         """Drain results for ``pending``; survive worker deaths.
 
         A result for an unknown task id is a stale duplicate (a resubmitted
         bucket finished twice, or a previous failed call's leftovers) and
         is dropped — walks are pure, so duplicates carry identical data.
+
+        ``deadline`` bounds the *no-progress* wait: liveness polling only
+        detects workers that died, so a wedged-but-alive worker (stuck in
+        a syscall, livelocked, maliciously slow) used to hang the caller
+        forever.  With a deadline, ``deadline`` seconds without a single
+        result raises :class:`~repro.exceptions.PoolTimeoutError` naming
+        the unfinished task ids and the live worker pids.
         """
         respawn_rounds = 0
+        last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
         while pending:
             schedule_point("pool.collect")
             try:
-                task_id, status, payload = self._results.get(
+                task_id, status, payload, pid = self._results.get(
                     timeout=_POLL_INTERVAL
                 )
             except queue_mod.Empty:
+                if (
+                    deadline is not None
+                    and time.monotonic() - last_progress >= deadline  # repro: noqa RPA004 - deadline bookkeeping, not result data
+                ):
+                    raise PoolTimeoutError(
+                        f"pool made no progress for {deadline:g}s with "
+                        f"{len(pending)} unfinished walk bucket(s) "
+                        f"(tasks {sorted(pending)[:8]}); live worker pids "
+                        f"{self._live_pids()}"
+                    )
                 if all(proc.is_alive() for proc in self._procs):
                     continue
                 respawn_rounds += 1
                 if respawn_rounds > _MAX_RESPAWNS:
                     raise PoolError(
                         f"pool workers died {respawn_rounds} times re-running "
-                        f"{len(pending)} unfinished walk bucket(s); giving up"
+                        f"{len(pending)} unfinished walk bucket(s) "
+                        f"(tasks {sorted(pending)[:8]}); giving up"
                     )
                 # Any death forces a full restart (see _restart: a kill can
                 # poison the shared queue locks); then resubmit every
                 # unfinished bucket — duplicates are dropped by task id.
                 # In-flight streaming batches die with the queues too, so
-                # they are resubmitted alongside.
+                # they are resubmitted alongside.  Backing off between
+                # rounds keeps a repeatedly dying pool from hot-looping.
+                time.sleep(_RECOVERY_RETRY.delay_for(respawn_rounds - 1))  # repro: noqa RPA004 - bounded recovery backoff, not result data
                 self._restart()
                 for msg in pending.values():
                     self._tasks.put(msg)
                 self._resubmit_stream_tasks()
                 continue
+            self._note_result(pid, status)
+            last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
             if task_id not in pending:
-                self._route_stream(task_id, status, payload)
+                self._route_stream(task_id, status, payload, pid)
                 continue
             del pending[task_id]
             if status == "ok":
                 handlers[task_id](payload)
             elif status == "error":
-                raise self._as_exception(payload)
+                raise self._as_exception(payload, task_id=task_id, pid=pid)
             else:
                 raise PoolError(
                     f"unknown result status {status!r} from worker "
-                    f"(task {task_id})"
+                    f"(task {task_id}, worker pid {pid})"
                 )
 
     # ------------------------------------------------------------------
@@ -836,6 +984,7 @@ class EvaluationPool:
         cost_model=None,
         max_queries: int | None = None,
         check_correctness: bool = True,
+        deadline: float | None = None,
     ) -> "PlanStream":
         """Open a :class:`PlanStream`: submit target batches as they arrive.
 
@@ -865,9 +1014,10 @@ class EvaluationPool:
         return PlanStream(
             self, plan, hierarchy, model,
             default_budget(hierarchy, max_queries), check_correctness,
+            deadline=self.deadline if deadline is None else deadline,
         )
 
-    def _route_stream(self, task_id: int, status: str, payload) -> bool:
+    def _route_stream(self, task_id: int, status: str, payload, pid=None) -> bool:
         """Deliver a result that belongs to a streaming batch, if any.
 
         Any collector may pull another consumer's result off the one
@@ -879,7 +1029,7 @@ class EvaluationPool:
         if entry is None:
             return False
         stream, _msg = entry
-        stream._deliver(task_id, status, payload)
+        stream._deliver(task_id, status, payload, pid)
         return True
 
     def _resubmit_stream_tasks(self) -> None:
@@ -888,19 +1038,28 @@ class EvaluationPool:
             self._tasks.put(msg)
 
     @staticmethod
-    def _as_exception(payload) -> BaseException:
+    def _as_exception(payload, *, task_id=None, pid=None) -> BaseException:
+        # Context names the task and worker for diagnosability; domain
+        # errors keep their type *and* message (walk parity), so only the
+        # PoolError wrappers carry it.
+        context = ""
+        if task_id is not None:
+            context = f" (task {task_id}"
+            context += f", worker pid {pid})" if pid is not None else ")"
         if isinstance(payload, bytes):
             try:
                 exc = pickle.loads(payload)
             except Exception:
-                return PoolError("pool worker failed with an unpicklable error")
+                return PoolError(
+                    f"pool worker failed with an unpicklable error{context}"
+                )
             if isinstance(exc, BaseException):
                 if isinstance(exc, ReproError):
                     return exc  # domain errors keep their type (parity)
                 return PoolError(
-                    f"pool worker failed: {type(exc).__name__}: {exc}"
+                    f"pool worker failed{context}: {type(exc).__name__}: {exc}"
                 )
-        return PoolError(f"pool worker failed: {payload}")
+        return PoolError(f"pool worker failed{context}: {payload}")
 
     # ------------------------------------------------------------------
     # Failure-injection hooks (tests)
@@ -978,18 +1137,25 @@ class PlanStream:
     plan segment.
     """
 
-    def __init__(self, pool, plan, hierarchy, model, budget, check) -> None:
+    def __init__(
+        self, pool, plan, hierarchy, model, budget, check,
+        deadline: float | None = None,
+    ) -> None:
         self._pool = pool
         self.plan = plan
         self.hierarchy = hierarchy
         self.model = model
         self.budget = int(budget)
         self.check = bool(check)
+        #: No-progress bound for poll/join (inherited from the pool's
+        #: default): this long without a delivery while batches are
+        #: outstanding raises :class:`~repro.exceptions.PoolTimeoutError`.
+        self.deadline = deadline
         pool._ensure_started()
         self._key, self._seg_name = pool._acquire_for_walk(plan, hierarchy)
         #: Tickets submitted but not yet delivered.
         self._pending: set[int] = set()
-        #: Delivered ``(ticket, status, payload)`` awaiting a poll/join.
+        #: Delivered ``(ticket, status, payload, pid)`` awaiting a poll/join.
         self._ready: list = []
         self._closed = False
         self.submitted = 0
@@ -997,6 +1163,7 @@ class PlanStream:
         #: Consecutive poll()-side death recoveries without a delivery
         #: (join keeps its own per-call counter; reset by _deliver).
         self._respawns = 0
+        self._last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1078,27 +1245,29 @@ class PlanStream:
         self._pool._stream_tasks[ticket] = (self, msg)
         self._pool._tasks.put(msg)
         self.submitted += 1
+        self._last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
         return ticket
 
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
-    def _deliver(self, ticket: int, status: str, payload) -> None:
+    def _deliver(self, ticket: int, status: str, payload, pid=None) -> None:
         schedule_point("stream.deliver")
         self._pending.discard(ticket)
-        self._ready.append((ticket, status, payload))
+        self._ready.append((ticket, status, payload, pid))
         # A delivery proves the pool is alive again: the poll-side respawn
         # budget bounds *consecutive* failed recoveries (like run_batch's
         # per-call counter), not lifetime deaths of a long-lived stream.
         self._respawns = 0
+        self._last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
 
     def _flush_ready(self, raise_errors: bool) -> list[StreamBatch]:
         out = []
         while self._ready:
-            ticket, status, payload = self._ready.pop(0)
+            ticket, status, payload, pid = self._ready.pop(0)
             self.completed += 1
             if status == "error":
-                exc = self._pool._as_exception(payload)
+                exc = self._pool._as_exception(payload, task_id=ticket, pid=pid)
                 if raise_errors:
                     raise exc
                 out.append(StreamBatch(ticket, None, None, None, 0, exc))
@@ -1141,10 +1310,11 @@ class PlanStream:
         schedule_point("stream.poll")
         while True:
             try:
-                task_id, status, payload = self._pool._results.get_nowait()
+                task_id, status, payload, pid = self._pool._results.get_nowait()
             except queue_mod.Empty:
                 break
-            self._pool._route_stream(task_id, status, payload)
+            self._pool._note_result(pid, status)
+            self._pool._route_stream(task_id, status, payload, pid)
         if (
             self._pending
             and not self._ready
@@ -1152,28 +1322,60 @@ class PlanStream:
             and not all(proc.is_alive() for proc in self._pool._procs)
         ):
             self._respawns = self._recover_after_death(self._respawns)
+        if (
+            self._pending
+            and not self._ready
+            and self.deadline is not None
+            and time.monotonic() - self._last_progress >= self.deadline  # repro: noqa RPA004 - deadline bookkeeping, not result data
+        ):
+            raise PoolTimeoutError(
+                f"stream of {self.plan.policy_name!r} made no progress for "
+                f"{self.deadline:g}s with {len(self._pending)} batch(es) "
+                f"outstanding (tickets {sorted(self._pending)[:8]}); live "
+                f"worker pids {self._pool._live_pids()}"
+            )
         return self._flush_ready(raise_errors)
 
-    def join(self, *, raise_errors: bool = True) -> list[StreamBatch]:
+    def join(
+        self, *, raise_errors: bool = True, deadline: float | None = None
+    ) -> list[StreamBatch]:
         """Block until every outstanding batch finished; return them all.
 
         Survives worker deaths exactly like ``run_batch``: any death
         forces a pool restart and the outstanding batches are resubmitted,
-        bounded by the same respawn budget.
+        bounded by the same respawn budget.  ``deadline`` (defaulting to
+        the stream's own) bounds the no-progress wait on wedged-alive
+        workers with :class:`~repro.exceptions.PoolTimeoutError`.
         """
+        if deadline is None:
+            deadline = self.deadline
         out = self._flush_ready(raise_errors)
         respawn_rounds = 0
+        last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
         while self._pending:
             try:
-                task_id, status, payload = self._pool._results.get(
+                task_id, status, payload, pid = self._pool._results.get(
                     timeout=_POLL_INTERVAL
                 )
             except queue_mod.Empty:
+                if (
+                    deadline is not None
+                    and time.monotonic() - last_progress >= deadline  # repro: noqa RPA004 - deadline bookkeeping, not result data
+                ):
+                    raise PoolTimeoutError(
+                        f"stream of {self.plan.policy_name!r} made no "
+                        f"progress for {deadline:g}s with "
+                        f"{len(self._pending)} batch(es) outstanding "
+                        f"(tickets {sorted(self._pending)[:8]}); live "
+                        f"worker pids {self._pool._live_pids()}"
+                    )
                 if all(proc.is_alive() for proc in self._pool._procs):
                     continue
                 respawn_rounds = self._recover_after_death(respawn_rounds)
                 continue
-            self._pool._route_stream(task_id, status, payload)
+            self._pool._note_result(pid, status)
+            last_progress = time.monotonic()  # repro: noqa RPA004 - deadline bookkeeping, not result data
+            self._pool._route_stream(task_id, status, payload, pid)
             out.extend(self._flush_ready(raise_errors))
         out.extend(self._flush_ready(raise_errors))
         return out

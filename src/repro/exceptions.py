@@ -60,9 +60,25 @@ class PoolError(ReproError):
     segment, exhausted plan registry, or use after :meth:`close`)."""
 
 
+class PoolTimeoutError(PoolError):
+    """A pool collection exceeded its deadline: ``run_batch``/``run_walk``
+    or a stream's ``poll``/``join`` waited longer than the configured
+    per-call deadline with walk buckets still outstanding.  The message
+    names the unfinished task ids and the live worker pids — a wedged
+    *alive* worker looks exactly like this, where plain worker death is
+    detected by liveness polling and recovered."""
+
+
 class ServeError(ReproError):
     """The session-serving layer (:mod:`repro.serve`) was misused
     (e.g. submitting to a closed server, or an unregistered plan)."""
+
+
+class ServeTimeoutError(ServeError):
+    """``Server.drain(timeout=...)`` ran out of wall-clock budget with
+    sessions still in flight or queued — the bounded alternative to the
+    untimed drain's stall heuristic, for callers that need a hard
+    guarantee (shutdown paths, chaos soaks)."""
 
 
 class AdmissionError(ServeError):
@@ -95,6 +111,20 @@ class SanitizerError(ReproError):
     violation — a leaked shared-memory segment or a policy whose ``undo``
     failed to restore the pre-answer state exactly.  Loud by design: the
     violation is reported where it happens, not as a downstream diff."""
+
+
+class FaultError(ReproError):
+    """The fault-injection layer (:mod:`repro.faults`) was misused —
+    arming a :class:`~repro.faults.FaultPlan` without ``REPRO_FAULTS=1``,
+    nesting armed plans, or a chaos soak observing a violation (a hang,
+    an untyped error, or a bit-identity divergence).  Soak violations
+    carry the ``(seed, trace)`` pair that replays the failing schedule."""
+
+
+class FaultInjectedError(ReproError):
+    """A deterministically injected fault fired (``kind="crash"`` at an
+    instrumented boundary with no more specific site exception).  Only
+    ever raised while a :class:`~repro.faults.FaultPlan` is armed."""
 
 
 class BudgetExceededError(SearchError):

@@ -1,0 +1,348 @@
+"""Deterministic fault injection at the stack's ``schedule_point`` sites.
+
+The pool/serve/cache stack is instrumented with
+:func:`~repro.analysis.schedule.schedule_point` calls at every
+interesting operation boundary (PR 7 added them for the schedule
+explorer).  This module reuses that exact hook surface to *inject
+failures*: while a :class:`FaultPlan` is armed, every boundary crossing
+consults the plan, which may
+
+* raise the boundary's registered typed exception
+  (:data:`~repro.faults.sites.FAULT_SITES` — ``kind="crash"``),
+* SIGKILL a pool worker (``kind="kill_worker"``),
+* unlink or scribble over a published shared-memory segment
+  (``kind="vanish_segment"`` / ``kind="corrupt_segment"``),
+* wedge a worker with a long sleep task (``kind="stall"``), or
+* delay the caller briefly (``kind="slow"``).
+
+Determinism and replay: a scripted plan fires exactly the
+:class:`FaultSpec` s it was given, keyed by ``(site, occurrence)``; a
+:meth:`FaultPlan.random` plan samples from a seeded generator whose
+draws depend only on the sequence of boundary crossings.  Every fired
+fault is recorded in :attr:`FaultPlan.trace`, and
+:meth:`FaultPlan.from_trace` rebuilds a scripted plan that replays the
+recorded decisions — the ``(seed, trace)`` pair travels in soak failure
+messages the way :class:`~repro.exceptions.ScheduleError` carries its
+decision string.  (Occurrence counts at high-frequency polling sites
+depend on OS timing, so a random seed is only approximately replayable
+against live workers; the *trace* is the exact artifact.)
+
+Arming is opt-in twice over, mirroring the sanitizers: constructing
+plans is always allowed, but :meth:`FaultPlan.armed` refuses to install
+the hook unless ``REPRO_FAULTS=1`` is set, and with no plan armed the
+hook adds one global load + ``None`` check per boundary (measured by
+``benchmarks/bench_faults.py`` at <1% of serving wall time).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.analysis import schedule as _schedule
+from repro.exceptions import FaultError, OracleError
+from repro.faults.sites import site_exception
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FlakyOracle",
+    "enabled",
+    "maybe_inject",
+]
+
+#: Every injectable failure mode.  ``crash`` and ``slow`` work at any
+#: boundary; the others need an armed pool to act on.
+FAULT_KINDS = (
+    "crash",
+    "kill_worker",
+    "vanish_segment",
+    "corrupt_segment",
+    "stall",
+    "slow",
+)
+
+#: Kinds that only make sense with a live pool attached to the plan.
+_POOL_KINDS = frozenset(
+    {"kill_worker", "vanish_segment", "corrupt_segment", "stall"}
+)
+
+#: Sites excluded from random sampling by default: teardown boundaries,
+#: where an injected failure tests the interpreter's exit machinery
+#: rather than the resilience layer.
+DEFAULT_EXCLUDE = ("serve.close",)
+
+#: Worker-wedge duration for ``stall`` and caller delay for ``slow``.
+_STALL_SECONDS = 30.0
+_SLOW_SECONDS = 0.005
+
+
+def enabled() -> bool:
+    """True when fault injection is switched on (``REPRO_FAULTS=1``).
+
+    Read from the environment at every call so test fixtures can flip it
+    with ``monkeypatch.setenv`` without reimporting the module.
+    """
+    return os.environ.get("REPRO_FAULTS", "").strip().lower() not in (
+        "", "0", "false", "off", "no",
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: fire ``kind`` at the ``nth`` crossing of ``at``.
+
+    ``nth`` is 1-based — ``FaultSpec("crash", at="stream.submit", nth=2)``
+    lets the first submit through and fails the second.
+    """
+
+    kind: str
+    at: str
+    nth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})"
+            )
+        if self.nth < 1:
+            raise FaultError(f"nth is 1-based, got {self.nth}")
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Scripted: ``FaultPlan([FaultSpec(...), ...])`` fires exactly those
+    specs.  Random: :meth:`FaultPlan.random` samples boundaries with a
+    seeded generator.  Either way, arm it around the code under test::
+
+        plan = FaultPlan.random(seed=7, rate=0.02)
+        with plan.armed(pool=pool):
+            ...  # pool/serve traffic; faults fire at schedule points
+        print(plan.trace)  # [(site, occurrence, kind), ...]
+
+    One plan may be armed at a time, and only with ``REPRO_FAULTS=1``.
+    The hook ignores crossings in forked worker processes (the armed
+    state is inherited under ``fork``): faults act on the parent's view
+    of the pool, where kills and segment attacks are well-defined.
+    """
+
+    def __init__(self, specs=()) -> None:
+        self._scripted: dict[tuple[str, int], str] = {}
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                spec = FaultSpec(*spec)
+            self._scripted[(spec.at, spec.nth)] = spec.kind
+        self._rng: random.Random | None = None
+        self._rate = 0.0
+        self._kinds: tuple[str, ...] = FAULT_KINDS
+        self._sites: frozenset[str] | None = None
+        self._exclude: frozenset[str] = frozenset(DEFAULT_EXCLUDE)
+        self._max_faults: int | None = None
+        self.seed: int | None = None
+        #: Fired faults, in order: ``(site, occurrence, kind)`` tuples.
+        self.trace: list[tuple[str, int, str]] = []
+        #: Boundary-crossing counters per site label.
+        self.counts: dict[str, int] = {}
+        self._pool = None
+        self._armed_pid: int | None = None
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        rate: float = 0.02,
+        kinds=None,
+        sites=None,
+        exclude=DEFAULT_EXCLUDE,
+        max_faults: int | None = 8,
+    ) -> "FaultPlan":
+        """A seeded random plan: each eligible crossing fires with ``rate``.
+
+        ``kinds`` restricts the failure modes (default: all of
+        :data:`FAULT_KINDS`); ``sites`` whitelists boundary labels
+        (default: all); ``exclude`` blacklists labels on top;
+        ``max_faults`` caps total injections so a long soak run
+        terminates (``None`` = unbounded).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultError(f"rate must be in [0, 1], got {rate}")
+        plan = cls()
+        plan._rng = random.Random(seed)
+        plan._rate = float(rate)
+        if kinds is not None:
+            for kind in kinds:
+                if kind not in FAULT_KINDS:
+                    raise FaultError(f"unknown fault kind {kind!r}")
+            plan._kinds = tuple(kinds)
+        plan._sites = frozenset(sites) if sites is not None else None
+        plan._exclude = frozenset(exclude or ())
+        plan._max_faults = max_faults
+        plan.seed = int(seed)
+        return plan
+
+    @classmethod
+    def from_trace(cls, trace) -> "FaultPlan":
+        """Rebuild a scripted plan replaying a recorded :attr:`trace`."""
+        return cls(
+            FaultSpec(kind, at=site, nth=occurrence)
+            for site, occurrence, kind in trace
+        )
+
+    @property
+    def fired(self) -> int:
+        """Number of faults injected so far."""
+        return len(self.trace)
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    @contextmanager
+    def armed(self, *, pool=None):
+        """Install this plan as the process-wide fault hook.
+
+        ``pool`` gives the pool-acting kinds (kill/vanish/corrupt/stall)
+        their target; without one those kinds are skipped when drawn.
+        Raises :class:`~repro.exceptions.FaultError` without
+        ``REPRO_FAULTS=1`` or when another plan is already armed.
+        """
+        if not enabled():
+            raise FaultError(
+                "fault injection is disabled; set REPRO_FAULTS=1 to arm a "
+                "FaultPlan (the hook is compiled out otherwise)"
+            )
+        if _schedule._FAULT_HOOK is not None:
+            raise FaultError("another FaultPlan is already armed")
+        self._pool = pool
+        self._armed_pid = os.getpid()
+        _schedule.set_fault_hook(self._on_point)
+        try:
+            yield self
+        finally:
+            _schedule.set_fault_hook(None)
+            self._pool = None
+            self._armed_pid = None
+
+    # ------------------------------------------------------------------
+    # The hook
+    # ------------------------------------------------------------------
+    def _on_point(self, label: str) -> None:
+        if os.getpid() != self._armed_pid:
+            return  # forked worker inherited the hook; faults act parent-side
+        occurrence = self.counts.get(label, 0) + 1
+        self.counts[label] = occurrence
+        kind = self._decide(label, occurrence)
+        if kind is None:
+            return
+        self.trace.append((label, occurrence, kind))
+        self._perform(kind, label, occurrence)
+
+    def _decide(self, label: str, occurrence: int) -> str | None:
+        kind = self._scripted.get((label, occurrence))
+        if kind is not None:
+            return kind
+        if self._rng is None or self._rate == 0.0:
+            return None
+        if self._sites is not None and label not in self._sites:
+            return None
+        if label in self._exclude:
+            return None
+        if (
+            self._max_faults is not None
+            and len(self.trace) >= self._max_faults
+        ):
+            return None
+        # One draw per eligible crossing keeps the stream aligned with
+        # the crossing sequence, which is what seeded replay relies on.
+        if self._rng.random() >= self._rate:
+            return None
+        kinds = self._kinds
+        if self._pool is None:
+            kinds = tuple(k for k in kinds if k not in _POOL_KINDS)
+            if not kinds:
+                return None
+        return kinds[self._rng.randrange(len(kinds))]
+
+    def _perform(self, kind: str, label: str, occurrence: int) -> None:
+        if kind == "crash":
+            raise site_exception(label)(
+                f"injected fault at {label!r} (occurrence {occurrence})"
+            )
+        if kind == "slow":
+            time.sleep(_SLOW_SECONDS)
+            return
+        pool = self._pool
+        if pool is None or pool.closed:
+            return
+        if kind == "kill_worker":
+            alive = [p for p in pool._procs if p.is_alive()]
+            if alive:
+                alive[occurrence % len(alive)].kill()
+        elif kind == "stall":
+            pool._inject_sleep(_STALL_SECONDS)
+        elif kind in ("vanish_segment", "corrupt_segment"):
+            entries = list(pool._registry.values())
+            if not entries:
+                return
+            entry = entries[occurrence % len(entries)]
+            if kind == "vanish_segment":
+                try:
+                    entry.shm.unlink()
+                except FileNotFoundError:
+                    pass
+            else:
+                # Scribble the header: future attaches read a torn meta
+                # length and fail typed; already-attached workers keep
+                # their (consistent) views.
+                entry.shm.buf[:8] = (2 ** 62).to_bytes(8, "little")
+
+    def __repr__(self) -> str:
+        mode = (
+            f"random(seed={self.seed}, rate={self._rate})"
+            if self._rng is not None
+            else f"scripted({len(self._scripted)} spec(s))"
+        )
+        return f"FaultPlan({mode}, fired={self.fired})"
+
+
+def maybe_inject(label: str) -> None:
+    """Consult the armed plan at a boundary outside the instrumented stack.
+
+    The function :class:`FlakyOracle` (and any ad-hoc test code) uses to
+    participate in fault schedules without importing the schedule
+    explorer; no-op when nothing is armed.
+    """
+    hook = _schedule._FAULT_HOOK
+    if hook is not None:
+        hook(label)
+
+
+class FlakyOracle:
+    """Wrap any oracle so its answers cross the ``oracle.answer`` boundary.
+
+    An injected ``crash`` there raises the registered
+    :class:`~repro.exceptions.OracleError` — the shape of a crowd worker
+    abandoning a question — which the serving layer must surface as a
+    per-session typed outcome, never a wedged cohort.
+    """
+
+    def __init__(self, oracle) -> None:
+        if not hasattr(oracle, "answer"):
+            raise OracleError(
+                f"{type(oracle).__name__} has no answer(); FlakyOracle "
+                "wraps oracle-shaped objects"
+            )
+        self._oracle = oracle
+
+    def answer(self, query) -> bool:
+        maybe_inject("oracle.answer")
+        return self._oracle.answer(query)
+
+    def __repr__(self) -> str:
+        return f"FlakyOracle({self._oracle!r})"

@@ -21,6 +21,7 @@ import os
 import warnings
 from pathlib import Path
 
+from repro.analysis.schedule import schedule_point
 from repro.core.costs import QueryCostModel
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
@@ -56,6 +57,7 @@ class PlanCache:
 
     def get(self, key: str) -> CompiledPlan | None:
         """The cached plan for ``key``, or None on miss/corruption."""
+        schedule_point("cache.plan_get")
         path = self.path_for(key)
         if not path.exists():
             return None
@@ -104,6 +106,7 @@ class PlanCache:
                 f"plan of {plan.policy_name!r} has no content key (the "
                 "policy is not plan_cacheable); use plan.save(path) instead"
             )
+        schedule_point("cache.plan_put")
         path = self.path_for(plan.config_key)
         plan.save(path)
         return path

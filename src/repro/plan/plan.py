@@ -24,12 +24,15 @@ replacement for the ``propose()/observe()/done()/result()`` policy protocol
 
 from __future__ import annotations
 
+import os
 import pickle
+import uuid
 from collections.abc import Hashable
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.schedule import schedule_point
 from repro.core.costs import QueryCostModel
 from repro.core.distribution import TargetDistribution
 from repro.core.hierarchy import Hierarchy
@@ -44,6 +47,27 @@ NO_PATH = -2
 
 #: On-disk format tag checked by :meth:`CompiledPlan.load`.
 _FORMAT = "repro-compiled-plan-v1"
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a just-renamed entry survives a host crash.
+
+    Best-effort: platforms (or filesystems) that refuse directory opens
+    still get an atomic rename, just without the durability of the
+    directory entry itself.  Shared by every crash-atomic writer in the
+    repo (:meth:`CompiledPlan.save`,
+    :meth:`repro.engine.cache.EngineResultCache.put`).
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class CompiledPlan:
@@ -323,16 +347,37 @@ class CompiledPlan:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Persist the plan (pickle with a format header) to ``path``."""
+        """Persist the plan (pickle with a format header) to ``path``.
+
+        Crash-atomic: the payload goes to a uniquely named temporary in
+        the target directory (so concurrent writers cannot clobber each
+        other's half-written files), is fsynced, and only then renamed
+        over ``path``, followed by a directory fsync.  A writer dying at
+        any point — including at the injectable ``plan.save`` boundary
+        between fsync and rename — leaves either the old file or no
+        file, never a torn one; the temporary is unlinked on the way
+        out.
+        """
         payload = {"format": _FORMAT, "plan": self}
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so a crashed writer never leaves a torn file
-        # where a reader (or the cache) expects a plan.
-        tmp = target.with_name(target.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(target)
+        tmp = target.with_name(
+            f"{target.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            schedule_point("plan.save")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        fsync_dir(target.parent)
 
     @classmethod
     def load(cls, path) -> "CompiledPlan":

@@ -61,7 +61,9 @@ from repro.exceptions import (
     SanitizerError,
     SearchError,
     ServeError,
+    ServeTimeoutError,
 )
+from repro.faults.resilience import CircuitBreaker
 from repro.plan.plan import NO_PATH, ROOT, CompiledPlan
 from repro.serve.runtime import SessionRuntime
 
@@ -117,6 +119,10 @@ class ServerStats:
     peak_in_flight: int = 0
     #: Sessions served through a pool stream rather than local stepping.
     offloaded: int = 0
+    #: Circuit-breaker transitions: groups degraded to local stepping
+    #: (trips) and groups restored to streaming after a probe (restores).
+    trips: int = 0
+    restores: int = 0
     tenants: set = field(default_factory=set)
 
 
@@ -298,14 +304,20 @@ class _PlanIndex:
 class _PlanGroup:
     """All in-flight sessions sharing one plan, stepped as numpy arrays."""
 
-    def __init__(self, key, plan, index, budget, stream=None) -> None:
+    def __init__(self, key, plan, index, budget, stream=None, breaker=None) -> None:
         self.key = key
         self.plan = plan
         self.index = index
         self.budget = budget
         #: Pool streaming offload (None = step locally).  Reset to None —
-        #: degrading the group to local stepping — if the pool dies.
+        #: degrading the group to local stepping — when the pool fails;
+        #: the breaker (when present) later reopens it via :meth:`maintain`.
         self.stream = stream
+        #: Per-group :class:`~repro.faults.resilience.CircuitBreaker`
+        #: (None without a pool): trips on infrastructure failures,
+        #: counts server ticks through a cooldown, then allows a single
+        #: probe batch before restoring full streaming.
+        self.breaker = breaker
         self.tenants: set = set()
         # Vectorized cohort: aligned per-session state.
         self.meta: list[SessionRequest] = []
@@ -505,7 +517,13 @@ class _PlanGroup:
     # Pool streaming offload
     # ------------------------------------------------------------------
     def _degrade_to_local(self) -> None:
-        """The pool is gone: serve everything on the local path instead."""
+        """The pool failed: serve everything on the local path instead.
+
+        Trips the group's circuit breaker (when one is attached), which
+        starts the cooldown -> probe -> restore cycle driven by
+        :meth:`maintain`; without a breaker the degradation is one-way,
+        the pre-breaker behaviour.
+        """
         for batch in self.tickets.values():
             self.retry.extend(batch)
         self.tickets.clear()
@@ -515,11 +533,55 @@ class _PlanGroup:
             except ReproError:
                 pass
             self.stream = None
+        if self.breaker is not None:
+            self.breaker.record_failure()
+
+    def maintain(self, server: "Server") -> None:
+        """Tick the breaker; reopen the stream for a probe when due.
+
+        Runs once per server step for degraded groups.  After ``cooldown``
+        ticks the breaker goes half-open and the group reopens a pool
+        stream: the next dispatched batch is the *probe* — its success
+        (collected in :meth:`collect_stream`) restores full streaming,
+        its failure re-trips with a fresh cooldown.  Sessions already
+        stepping locally are untouched: cohorts finish where they
+        started, so results stay bit-identical across the transition.
+        """
+        breaker = self.breaker
+        if breaker is None or self.stream is not None:
+            return
+        breaker.tick()
+        if not breaker.allow_probe():
+            return
+        pool = server.pool
+        if pool is None or pool.closed:
+            breaker.record_failure()
+            return
+        try:
+            schedule_point("serve.probe")
+            self.stream = pool.stream(
+                self.plan,
+                self.plan.hierarchy,
+                cost_model=server.model,
+                max_queries=self.budget,
+                deadline=server.deadline,
+            )
+        except (PoolError, ServeError):
+            # Probe failed before carrying any traffic: re-trip and wait
+            # out another cooldown.
+            self.stream = None
+            breaker.record_failure()
 
     def dispatch_stream(self) -> None:
         """Ship the sessions admitted since the last tick as one batch."""
         schedule_point("serve.dispatch_stream")
         if not self.incoming or self.stream is None:
+            return
+        if self.breaker is not None and self.breaker.probing and self.tickets:
+            # Half-open: exactly one probe batch rides the fresh stream.
+            # Everything else admitted meanwhile steps locally (the
+            # incoming list falls through to _merge_incoming) until the
+            # probe's outcome closes or re-trips the breaker.
             return
         batch = list(self.incoming)
         self.incoming.clear()
@@ -553,16 +615,29 @@ class _PlanGroup:
         except PoolError:
             self._degrade_to_local()
             return outcomes
+        breaker = self.breaker
         for done in done_batches:
             batch = self.tickets.pop(done.ticket, None)
             if batch is None:
                 continue
             if done.error is not None:
+                if isinstance(done.error, PoolError):
+                    # Infrastructure failure (segment vanished, worker
+                    # protocol breakage): the stream itself is suspect —
+                    # degrade the group, tripping the breaker.
+                    self.retry.extend(batch)
+                    self._degrade_to_local()
+                    continue
                 # Re-run this batch's sessions locally for per-session
                 # error attribution (batch granularity would blame every
                 # co-batched session for one offender).
                 self.retry.extend(batch)
                 continue
+            if breaker is not None:
+                # Healthy delivered batch: restores streaming when this
+                # was the half-open probe, resets the failure count
+                # otherwise.
+                breaker.record_success()
             # Per-target costs from the workers; transcripts (if wanted)
             # assembled locally from the same plan structure.
             position = {int(t): i for i, t in enumerate(done.target_ix)}
@@ -617,6 +692,19 @@ class Server:
         Attach full transcripts to results (byte-identical to
         ``run_search``).  Turning this off skips transcript assembly for
         throughput-only serving.
+    deadline:
+        Per-poll no-progress deadline (seconds) forwarded to every pool
+        stream the server opens; a wedged pool raises
+        :class:`~repro.exceptions.PoolTimeoutError` inside the stream,
+        which degrades the group to local stepping instead of hanging.
+        ``None`` (default) keeps the pool's own deadline (if any).
+    breaker_cooldown:
+        Server *steps* a degraded plan group waits before probing the
+        pool again (circuit breaker cooldown).  After a pool failure the
+        group serves locally for this many ticks, then sends one probe
+        batch down a fresh stream: success restores streaming, failure
+        re-trips.  Counted in steps, not seconds, so recovery behaviour
+        is deterministic under test.
     """
 
     def __init__(
@@ -630,6 +718,8 @@ class Server:
         max_queries: int | None = None,
         pool=None,
         record_transcripts: bool = True,
+        deadline: float | None = None,
+        breaker_cooldown: int = 5,
     ) -> None:
         if max_sessions < 1:
             raise ServeError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -637,6 +727,14 @@ class Server:
             raise ServeError(f"queue_limit must be >= 0, got {queue_limit}")
         if plan_quota is not None and plan_quota < 1:
             raise ServeError(f"plan_quota must be >= 1, got {plan_quota}")
+        if deadline is not None and deadline <= 0:
+            raise ServeError(f"deadline must be positive, got {deadline}")
+        if breaker_cooldown < 1:
+            raise ServeError(
+                f"breaker_cooldown must be >= 1, got {breaker_cooldown}"
+            )
+        self.deadline = deadline
+        self.breaker_cooldown = int(breaker_cooldown)
         self.max_sessions = int(max_sessions)
         self.queue_limit = int(queue_limit)
         self.plan_quota = plan_quota
@@ -730,14 +828,24 @@ class Server:
             index = _PlanIndex(plan, self.model)
             budget = default_budget(plan.hierarchy, self.max_queries)
             stream = None
+            breaker = None
             if self.pool is not None:
                 stream = self.pool.stream(
                     plan,
                     plan.hierarchy,
                     cost_model=self.model,
                     max_queries=budget,
+                    deadline=self.deadline,
                 )
-            group = _PlanGroup(key, plan, index, budget, stream)
+                stats = self.stats
+                breaker = CircuitBreaker(
+                    cooldown=self.breaker_cooldown,
+                    on_trip=lambda: setattr(stats, "trips", stats.trips + 1),
+                    on_restore=lambda: setattr(
+                        stats, "restores", stats.restores + 1
+                    ),
+                )
+            group = _PlanGroup(key, plan, index, budget, stream, breaker)
             self._groups[key] = group
         if self.pool is not None and plan.config_key:
             self.pool.publish(plan, pin=True)
@@ -873,6 +981,7 @@ class Server:
             raise ServeError("the server is closed")
         outcomes: list[SessionOutcome] = []
         for group in self._groups.values():
+            group.maintain(self)
             if group.stream is not None:
                 group.dispatch_stream()
                 collected = group.collect_stream(self.record_transcripts)
@@ -890,12 +999,36 @@ class Server:
         self._admit_from_queue()
         return outcomes
 
-    def drain(self) -> list[SessionOutcome]:
-        """Step until every admitted and queued session finished."""
+    def drain(self, *, timeout: float | None = None) -> list[SessionOutcome]:
+        """Step until every admitted and queued session finished.
+
+        ``timeout`` bounds the wall-clock wait: past it, drain raises a
+        :class:`~repro.exceptions.ServeTimeoutError` naming what is still
+        outstanding instead of spinning on a wedged pool batch until the
+        idle-tick stall cap (which only guards the local path).
+        """
+        if timeout is not None and timeout <= 0:
+            raise ServeError(f"timeout must be positive, got {timeout}")
+        give_up_at = (
+            None
+            if timeout is None
+            else time.monotonic() + timeout  # repro: noqa RPA004 - drain deadline is a liveness bound, not a result input
+        )
         outcomes: list[SessionOutcome] = []
         idle_ticks = 0
         while self.in_flight or self._queue:
             schedule_point("serve.drain")
+            if (
+                give_up_at is not None
+                and time.monotonic() > give_up_at  # repro: noqa RPA004 - drain deadline is a liveness bound, not a result input
+            ):
+                pending = sum(len(g.tickets) for g in self._groups.values())
+                raise ServeTimeoutError(
+                    f"drain exceeded its {timeout:g}s deadline with "
+                    f"{self.in_flight} session(s) in flight, "
+                    f"{self.queued} queued and {pending} pool batch(es) "
+                    "outstanding"
+                )
             finished = self.step()
             outcomes.extend(finished)
             if finished:

@@ -558,6 +558,83 @@ def drop_segment(shm):
 
 
 # ----------------------------------------------------------------------
+# RPA009 — fault-site registry discipline
+# ----------------------------------------------------------------------
+class TestFaultSiteRule:
+    def test_registered_literal_clean(self):
+        src = """
+from repro.analysis.schedule import schedule_point
+
+def collect():
+    schedule_point("pool.collect")
+"""
+        assert check(src, select=["RPA009"]) == []
+
+    def test_unregistered_label_flagged(self):
+        src = """
+from repro.analysis.schedule import schedule_point
+
+def collect():
+    schedule_point("pool.not_a_site")
+"""
+        findings = check(src, select=["RPA009"])
+        assert len(findings) == 1
+        assert "FAULT_SITES" in findings[0].message
+
+    def test_computed_label_flagged(self):
+        src = """
+from repro.analysis.schedule import schedule_point
+
+def collect(name):
+    schedule_point("pool." + name)
+"""
+        findings = check(src, select=["RPA009"])
+        assert len(findings) == 1
+        assert "literal" in findings[0].message
+
+    def test_maybe_inject_adhoc_label_tolerated(self):
+        # maybe_inject exists for ad-hoc boundaries; it falls back to
+        # FaultInjectedError, so unregistered labels are fine — but
+        # computed ones still are not.
+        src = """
+from repro.faults.inject import maybe_inject
+
+def answer(query):
+    maybe_inject("my_test.boundary")
+"""
+        assert check(src, select=["RPA009"]) == []
+
+    def test_maybe_inject_computed_label_flagged(self):
+        src = """
+from repro.faults.inject import maybe_inject
+
+def answer(site):
+    maybe_inject(f"oracle.{site}")
+"""
+        findings = check(src, select=["RPA009"])
+        assert len(findings) == 1
+        assert "literal" in findings[0].message
+
+    def test_unregistered_label_outside_repo_tree_tolerated(self):
+        # Registration is only enforced for repo source; test helpers
+        # exploring schedules with their own labels are fine.
+        src = """
+from repro.analysis.schedule import schedule_point
+
+def probe():
+    schedule_point("scratch.site")
+"""
+        assert check(src, path="tests/helper.py", select=["RPA009"]) == []
+
+    def test_registry_maps_every_site_to_repro_errors(self):
+        from repro.exceptions import ReproError
+        from repro.faults.sites import FAULT_SITES
+
+        for label, exc in FAULT_SITES.items():
+            assert isinstance(exc, type) and issubclass(exc, ReproError), label
+
+
+# ----------------------------------------------------------------------
 # Interprocedural reach (the call-graph layer under RPA002/RPA005)
 # ----------------------------------------------------------------------
 class TestInterprocedural:
@@ -681,7 +758,7 @@ class TestDriver:
     def test_rule_registry_complete(self):
         assert sorted(RULES) == [
             "RPA001", "RPA002", "RPA003", "RPA004", "RPA005", "RPA006",
-            "RPA007", "RPA008",
+            "RPA007", "RPA008", "RPA009",
         ]
 
     def test_repo_tree_is_clean(self):
