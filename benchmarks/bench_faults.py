@@ -5,7 +5,11 @@ The resilience layer's acceptance gate.  Hundreds of seeded random
 crashes, slow boundaries) run against a live
 :class:`~repro.engine.EvaluationPool` and :class:`~repro.serve.Server`,
 plus a handful of scripted segment-attack schedules (vanish/corrupt a
-published shared-memory segment under a worker kill) on throwaway pools.
+published shared-memory segment under a worker kill) on throwaway pools,
+plus seeded schedules over the **network edge** — crashes and slowdowns
+at the ``transport.*`` boundaries of a real localhost
+:class:`~repro.serve.ServeTransport`, absorbed by the client's retry
+policy, per-request deadlines, and circuit breaker.
 For every schedule the soak asserts:
 
 * **termination** — each serve run finishes within a wall-clock bound
@@ -274,6 +278,22 @@ def run_soak(schedules=200, sessions=24, rate=0.04) -> dict:
                     )
             finally:
                 server.close()
+
+        # Phase 4: the network edge — seeded transport.* fault schedules
+        # over a real localhost transport (fewer schedules: each one
+        # binds a listener and dials real sockets).
+        transport_counters = _transport_soak(
+            plan,
+            hierarchy,
+            targets[: max(4, len(targets) // 3)],
+            reference,
+            violations,
+            schedules=max(2, schedules // 20),
+        )
+        faults_fired += transport_counters["fired"]
+        sessions_completed += transport_counters["completed"]
+        sessions_errored += transport_counters["errored"]
+        trips += transport_counters["trips"]
     finally:
         if previous is None:
             os.environ.pop("REPRO_FAULTS", None)
@@ -299,6 +319,9 @@ def run_soak(schedules=200, sessions=24, rate=0.04) -> dict:
         "schedules_cut_short_typed": escaped_typed,
         "breaker_trips": trips,
         "breaker_restores": restores,
+        "transport_faults_fired": transport_counters["fired"],
+        "transport_sessions_completed": transport_counters["completed"],
+        "transport_sessions_errored": transport_counters["errored"],
         "hook_overhead_fraction": round(overhead, 6),
         "crossings_per_run": crossings,
         "soak_seconds": round(soak_wall, 3),
@@ -315,11 +338,145 @@ def run_soak(schedules=200, sessions=24, rate=0.04) -> dict:
         sessions_completed=sessions_completed,
         breaker_trips=trips,
         breaker_restores=restores,
+        transport_faults_fired=transport_counters["fired"],
         hook_overhead_fraction=round(overhead, 6),
         violations=len(violations),
         ok=not violations,
     )
     return payload
+
+
+def _transport_soak(plan, hierarchy, targets, reference, violations, schedules):
+    """Phase 4: seeded fault schedules against the network edge.
+
+    Runs target sessions over a real localhost transport
+    (:mod:`repro.serve.transport`) with crashes and slowdowns injected
+    at the ``transport.*`` boundaries.  Same invariants as the pool
+    phases: typed errors only, bit-identical completions, no hangs —
+    the client's retry policy and per-request deadlines must absorb
+    the chaos.
+    """
+    import asyncio
+
+    from repro.faults.resilience import CircuitBreaker, RetryPolicy
+    from repro.serve import ServeClient, ServeTransport
+
+    counters = {"fired": 0, "completed": 0, "errored": 0, "trips": 0}
+    wire_sites = (
+        "transport.open",
+        "transport.read",
+        "transport.write",
+        "transport.connect",
+        "transport.request",
+    )
+
+    async def one_schedule(seed, fault):
+        breaker = CircuitBreaker(cooldown=2)
+        with Server(plan) as server:
+            transport = ServeTransport(server)
+            host, port = await transport.start()
+            with fault.armed():
+                for t in targets:
+                    try:
+                        client = await ServeClient.connect(
+                            host,
+                            port,
+                            deadline=5.0,
+                            retry=RetryPolicy(attempts=2, base_delay=0.01),
+                            breaker=breaker,
+                        )
+                    except ReproError:
+                        counters["errored"] += 1
+                        continue
+                    try:
+                        result = await client.serve_target(f"wire-{t}", t)
+                    except ReproError:
+                        counters["errored"] += 1
+                        continue
+                    finally:
+                        await client.close()
+                    if result != reference[t]:
+                        violations.append(
+                            f"transport seed {seed}: session {t!r} diverged "
+                            f"over the wire (trace {fault.trace})"
+                        )
+                    counters["completed"] += 1
+            try:
+                await transport.shutdown(timeout=10.0)
+            except ReproError:
+                pass  # injected drain fault: typed, acceptable
+        counters["trips"] += breaker.trips
+
+    async def phase():
+        for seed in range(schedules):
+            fault = FaultPlan.random(
+                seed,
+                rate=0.05,
+                kinds=("crash", "slow"),
+                sites=wire_sites,
+                max_faults=4,
+            )
+            begin = time.perf_counter()
+            await one_schedule(seed, fault)
+            elapsed = time.perf_counter() - begin
+            if elapsed > _SCHEDULE_BOUND_S:
+                violations.append(
+                    f"transport seed {seed}: schedule took {elapsed:.1f}s "
+                    f"(bound {_SCHEDULE_BOUND_S}s) — hang (trace "
+                    f"{fault.trace})"
+                )
+            counters["fired"] += fault.fired
+        # Scripted: the listener refuses one connection (accept fault);
+        # the client must fail typed and the next connect must succeed.
+        fault = FaultPlan([FaultSpec("crash", at="transport.accept", nth=1)])
+        with Server(plan) as server:
+            transport = ServeTransport(server)
+            host, port = await transport.start()
+            with fault.armed():
+                try:
+                    client = await ServeClient.connect(
+                        host,
+                        port,
+                        deadline=2.0,
+                        retry=RetryPolicy(attempts=1),
+                    )
+                    try:
+                        await client.ping()
+                        violations.append(
+                            "transport accept fault: the refused connection "
+                            "answered a ping"
+                        )
+                    except ReproError:
+                        pass
+                    finally:
+                        await client.close()
+                except ReproError:
+                    pass  # connect itself may surface the refusal — typed
+                retry_client = await ServeClient.connect(
+                    host, port, deadline=5.0
+                )
+                try:
+                    result = await retry_client.serve_target(
+                        "wire-retry", targets[0]
+                    )
+                finally:
+                    await retry_client.close()
+                if result != reference[targets[0]]:
+                    violations.append(
+                        "transport accept fault: post-fault session diverged"
+                    )
+                else:
+                    counters["completed"] += 1
+            await transport.shutdown(timeout=10.0)
+        counters["fired"] += fault.fired
+        if not counters["fired"]:
+            violations.append(
+                "transport phase injected zero faults — the wire sites "
+                "are not armed"
+            )
+
+    asyncio.run(phase())
+    return counters
 
 
 def _default_schedules(smoke: bool) -> int:

@@ -26,7 +26,14 @@ Three modes:
   the batches to the persistent worker pool's streaming mode;
   ``--deadline`` bounds each pool batch, and ``--faults SEED`` arms a
   seeded random fault schedule against the live server and prints the
-  fired trace — a one-line chaos drill).
+  fired trace — a one-line chaos drill);
+* loadgen mode — ``python -m repro loadgen --rate 500 --sessions 1000``
+  drives *open-loop* Poisson traffic (arrivals never wait) against the
+  network transport (:mod:`repro.serve.transport`) — self-hosted on
+  localhost, or a running backend via ``--connect HOST:PORT`` — mixing
+  micro-batched target sessions with interactive propose/observe
+  clients (``--think``, ``--slow-fraction``, ``--abandon-fraction``)
+  and reporting per-question and per-session latency percentiles.
 """
 
 from __future__ import annotations
@@ -48,9 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "interactive", "compile", "serve"],
+        choices=[*EXPERIMENTS, "all", "interactive", "compile", "serve",
+                 "loadgen"],
         help="paper table/figure to regenerate, 'interactive', 'compile', "
-        "or 'serve' (micro-batched session serving demo)",
+        "'serve' (micro-batched session serving demo), or 'loadgen' "
+        "(open-loop Poisson traffic against the network transport)",
     )
     parser.add_argument(
         "--scale",
@@ -166,6 +175,69 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="serve mode: per-boundary-crossing fault probability for "
         "--faults (default: 0.02)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="R",
+        help="loadgen mode: offered arrival rate, sessions/second "
+        "(Poisson; default: 200)",
+    )
+    parser.add_argument(
+        "--interactive-fraction",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="loadgen mode: fraction of sessions driven propose/observe "
+        "over the wire instead of micro-batched (default: 0.25)",
+    )
+    parser.add_argument(
+        "--think",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="loadgen mode: mean per-answer think time of interactive "
+        "clients (exponential, seeded; default: 0)",
+    )
+    parser.add_argument(
+        "--slow-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="loadgen mode: fraction of interactive clients thinking 10x "
+        "longer (adversarial slow consumers; default: 0)",
+    )
+    parser.add_argument(
+        "--abandon-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="loadgen mode: fraction of clients that walk away "
+        "mid-session (default: 0)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        metavar="N",
+        help="loadgen mode: client connections to multiplex sessions "
+        "over (default: 4)",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="loadgen mode: drive an already-running transport instead "
+        "of self-hosting one (needs --edges or --plan for the oracle "
+        "side)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=500,
+        metavar="N",
+        help="loadgen mode: size of the synthetic hierarchy when no "
+        "--edges/--plan is given (default: 500)",
     )
     return parser
 
@@ -321,6 +393,80 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_loadgen(args) -> int:
+    """Open-loop Poisson traffic against the network transport."""
+    import asyncio
+
+    from repro.plan import CompiledPlan, compile_policy
+    from repro.serve import LoadProfile, ServeTransport, Server, run_load
+    from repro.testing import make_random_tree
+
+    if args.plan:
+        plan = CompiledPlan.load(args.plan)
+        hierarchy = plan.hierarchy
+    elif args.edges:
+        hierarchy = _load_hierarchy_or_fail(args)
+        if hierarchy is None:
+            return 2
+        plan = compile_policy(_make_policy(args, hierarchy), hierarchy)
+    elif args.connect:
+        print(
+            "loadgen --connect needs --edges or --plan (the generator "
+            "answers interactive questions locally)",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        hierarchy = make_random_tree(args.nodes, seed=args.seed)
+        plan = compile_policy(_make_policy(args, hierarchy), hierarchy)
+
+    profile = LoadProfile(
+        rate=args.rate,
+        sessions=args.sessions,
+        interactive_fraction=args.interactive_fraction,
+        think_time=args.think,
+        slow_fraction=args.slow_fraction,
+        abandon_fraction=args.abandon_fraction,
+        connections=args.connections,
+        seed=args.seed,
+    )
+
+    async def drive() -> "object":
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            return await run_load(
+                host or "127.0.0.1", int(port), profile, hierarchy
+            )
+        pool = None
+        if args.pool is not None:
+            from repro.engine import EvaluationPool
+
+            pool = EvaluationPool(args.pool or None)
+        try:
+            with Server(
+                plan,
+                max_sessions=args.max_sessions,
+                queue_limit=args.queue_limit,
+                pool=pool,
+                deadline=args.deadline,
+            ) as server:
+                async with ServeTransport(server) as transport:
+                    host, port = transport.address
+                    return await run_load(host, port, profile, hierarchy)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    report = asyncio.run(drive())
+    where = args.connect or "self-hosted localhost transport"
+    print(
+        f"open-loop load over {hierarchy.n} categories against {where} "
+        f"({profile.sessions} arrivals, {profile.connections} connections)"
+    )
+    print(f"  {report}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -337,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compile(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "loadgen":
+        return _run_loadgen(args)
     if args.plan_cache:
         from repro.plan import set_default_cache
 

@@ -81,6 +81,15 @@ class ServeTimeoutError(ServeError):
     guarantee (shutdown paths, chaos soaks)."""
 
 
+class TransportError(ServeError):
+    """The network transport (:mod:`repro.serve.transport`) failed: a
+    malformed or oversized frame, a request deadline expired, the remote
+    backend's circuit breaker is open, or the connection dropped
+    mid-request.  Server-side *application* rejections keep their own
+    types (:class:`AdmissionError` and friends) across the wire; this
+    class covers the wire itself."""
+
+
 class AdmissionError(ServeError):
     """A session was refused admission — the server is at its in-flight
     capacity and its waiting queue is full.  Producers should back off and

@@ -27,6 +27,7 @@ from repro.exceptions import (
     ReproError,
     ServeError,
     ServeTimeoutError,
+    TransportError,
 )
 
 __all__ = ["FAULT_SITES", "site_exception"]
@@ -59,6 +60,16 @@ FAULT_SITES: dict[str, type[ReproError]] = {
     "serve.step": ServeError,
     "serve.drain": ServeTimeoutError,
     "serve.close": ServeError,
+    # -- serve.transport (network edge; ``maybe_inject`` boundaries —
+    #    transport code is async, so it uses the hook directly rather
+    #    than ``schedule_point``)
+    "transport.accept": TransportError,  # server accepting a connection
+    "transport.open": AdmissionError,  # session open admission
+    "transport.read": TransportError,  # server reading a client frame
+    "transport.write": TransportError,  # server writing a reply frame
+    "transport.connect": TransportError,  # client dialing the backend
+    "transport.request": TransportError,  # client request path
+    "transport.drain": ServeTimeoutError,  # graceful-drain window
     # -- Persistent caches (crash-atomic write windows)
     "cache.result_get": FaultInjectedError,
     "cache.result_put": FaultInjectedError,

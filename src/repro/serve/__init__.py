@@ -1,6 +1,6 @@
-"""The unified session runtime and the streaming serving layer.
+"""The unified session runtime, the streaming serving layer, and the wire.
 
-Two layers, one loop:
+Three layers, one loop:
 
 * :class:`SessionRuntime` — the single propose/observe/undo/done engine
   behind every interactive surface (``run_search``, the online labelling
@@ -15,10 +15,20 @@ Two layers, one loop:
   (:class:`~repro.engine.pool.EvaluationPool`, whose streaming mode the
   server can offload batches to).
 
-See the README's "Serving sessions at scale" section for the workflow and
-``benchmarks/bench_serve.py`` for the throughput acceptance gate.
+* :class:`ServeTransport` / :class:`ServeClient` — the network edge:
+  NDJSON frames over asyncio streams feeding ``Server.aserve``, session
+  stickiness by id, typed backpressure, graceful drain; the client side
+  carries retries, per-request deadlines, and a per-backend circuit
+  breaker.  :func:`run_load` drives it open-loop (seeded Poisson
+  arrivals, think time, adversarial slow/abandoning clients) and
+  reports per-question and per-session latency.
+
+See the README's "Serving sessions at scale" and "Serving over the
+network" sections for the workflow, and ``benchmarks/bench_serve.py``
+for the throughput and latency acceptance gates.
 """
 
+from repro.serve.loadgen import LoadProfile, LoadReport, run_load
 from repro.serve.runtime import SessionRuntime
 from repro.serve.server import (
     Server,
@@ -26,11 +36,24 @@ from repro.serve.server import (
     SessionOutcome,
     SessionRequest,
 )
+from repro.serve.transport import (
+    RemoteSession,
+    ServeClient,
+    ServeTransport,
+    TransportStats,
+)
 
 __all__ = [
+    "LoadProfile",
+    "LoadReport",
+    "RemoteSession",
+    "ServeClient",
+    "ServeTransport",
     "Server",
     "ServerStats",
     "SessionOutcome",
     "SessionRequest",
     "SessionRuntime",
+    "TransportStats",
+    "run_load",
 ]

@@ -40,6 +40,7 @@ both finish through the same :class:`~repro.core.session.SearchResult`.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from collections import deque
 from collections.abc import Hashable, Iterable
@@ -123,6 +124,9 @@ class ServerStats:
     #: (trips) and groups restored to streaming after a probe (restores).
     trips: int = 0
     restores: int = 0
+    #: Sessions reclaimed because their feed was abandoned mid-flight
+    #: (a ``serve``/``aserve`` consumer dropped the generator).
+    abandoned: int = 0
     tenants: set = field(default_factory=set)
 
 
@@ -343,6 +347,25 @@ class _PlanGroup:
             + len(self.scalar)
             + sum(len(v) for v in self.tickets.values())
         )
+
+    def cancel_all(self) -> int:
+        """Drop every in-flight session (abandoned feed); returns the count.
+
+        Outstanding pool tickets are simply forgotten: their results are
+        skipped when they surface (``collect_stream`` pops unknown tickets
+        to ``None``), so the workers finish harmlessly.  The stream stays
+        open for the next feed.
+        """
+        cancelled = self.in_flight
+        self.meta = []
+        self.nodes = np.empty(0, dtype=np.int64)
+        self.targets = np.empty(0, dtype=np.int64)
+        self.depths = np.empty(0, dtype=np.int64)
+        self.incoming.clear()
+        self.retry.clear()
+        self.scalar.clear()
+        self.tickets.clear()
+        return cancelled
 
     def admit(self, request: SessionRequest, target_ix: int | None) -> None:
         if target_ix is None:
@@ -1056,6 +1079,78 @@ class Server:
     # ------------------------------------------------------------------
     # Feeds
     # ------------------------------------------------------------------
+    def _feed_admit(self, request: SessionRequest, fast: list):
+        """Admit one feed request; returns a rejection outcome or ``None``.
+
+        ``fast`` is a three-slot ``[tenant, group, index]`` cache shared
+        between :meth:`serve` and :meth:`aserve`: most feeds are one
+        tenant on the default plan, and admitting those straight into the
+        group's incoming list skips the per-request
+        ``submit()``/``_resolve()`` machinery.  Both feeds route through
+        this one method, so the sync and async paths admit identically
+        (the ``aserve`` parity suite diffs their outcomes byte for byte).
+        """
+        stats = self.stats
+        if (
+            request.tenant == fast[0]
+            and request.plan is None
+            and request.target is not None
+            and request.oracle is None
+        ):
+            try:
+                target_ix = fast[2](request.target)
+            except ReproError as exc:  # unknown label: reject it
+                stats.errored += 1
+                return SessionOutcome(
+                    request.session_id, request.tenant, None, exc
+                )
+            fast[1].incoming.append((request, target_ix))
+            self._active += 1
+            stats.submitted += 1
+            if self._active > stats.peak_in_flight:
+                stats.peak_in_flight = self._active
+            return None
+        try:
+            self.submit(request)
+        except ReproError as exc:
+            # Quota (AdmissionError), unknown target, malformed request:
+            # one bad request becomes one rejected outcome; the feed —
+            # and the admitted sessions — keep being served.
+            if not isinstance(exc, AdmissionError):
+                stats.errored += 1
+            return SessionOutcome(request.session_id, request.tenant, None, exc)
+        if request.plan is None and request.target is not None:
+            fast[0] = request.tenant
+            fast[1] = self._groups[self._plan_key(self.default_plan)]
+            fast[2] = fast[1].index.hierarchy.index
+        return None
+
+    def _reclaim_in_flight(self) -> int:
+        """Cancel every in-flight and queued session (abandoned feed).
+
+        A ``serve``/``aserve`` consumer that drops the generator mid-feed
+        (``GeneratorExit``, task cancellation) would otherwise strand its
+        sessions: ``_active`` never decrements, group cohorts and pool
+        tickets stay registered, and ``release_plan``/``close`` see
+        phantom in-flight work — the pin-accounting drift the sanitizer
+        flags.  Reclaiming drops them all, fixes the accounting, and
+        leaves streams open for the next feed.
+        """
+        in_flight = sum(g.in_flight for g in self._groups.values())
+        if sanitize.enabled() and in_flight != self._active:
+            raise SanitizerError(
+                f"feed reclaim: {self._active} session(s) counted active "
+                f"but {in_flight} tracked in plan groups — session "
+                "accounting drifted"
+            )
+        reclaimed = len(self._queue)
+        self._queue.clear()
+        for group in self._groups.values():
+            reclaimed += group.cancel_all()
+        self._active = 0
+        self.stats.abandoned += reclaimed
+        return reclaimed
+
     def serve(self, feed: Iterable[SessionRequest]):
         """Serve an iterator feed; yield outcomes as sessions finish.
 
@@ -1063,107 +1158,118 @@ class Server:
         simply not pulled (no load shedding — that is the
         :meth:`submit`-side contract).  Quota violations surface as
         rejected outcomes, not exceptions, so one bad tenant cannot stall
-        the feed.
+        the feed.  Abandoning the generator mid-feed reclaims every
+        in-flight session (see :meth:`_reclaim_in_flight`); outcomes the
+        consumer never pulled are dropped, not leaked.
         """
         if self._closed:
             raise ServeError("the server is closed")
         iterator = iter(feed)
         exhausted = False
-        # Fast-path cache: most feeds are one tenant on the default plan;
-        # admitting those straight into the group's incoming list skips
-        # the per-request submit()/_resolve() machinery.
-        fast_tenant: str | None = None
-        fast_group: _PlanGroup | None = None
-        fast_index = None
-        stats = self.stats
-        while True:
-            while not exhausted and self._active < self.max_sessions:
-                try:
-                    request = next(iterator)
-                except StopIteration:
-                    exhausted = True
-                    break
-                if (
-                    request.tenant == fast_tenant
-                    and request.plan is None
-                    and request.target is not None
-                    and request.oracle is None
-                ):
+        fast: list = [None, None, None]  # [tenant, group, index] cache
+        try:
+            while True:
+                while not exhausted and self._active < self.max_sessions:
                     try:
-                        target_ix = fast_index(request.target)
-                    except ReproError as exc:  # unknown label: reject it
-                        stats.errored += 1
-                        yield SessionOutcome(
-                            request.session_id, request.tenant, None, exc
-                        )
-                        continue
-                    fast_group.incoming.append((request, target_ix))
-                    self._active += 1
-                    stats.submitted += 1
-                    if self._active > stats.peak_in_flight:
-                        stats.peak_in_flight = self._active
-                    continue
-                try:
-                    self.submit(request)
-                except ReproError as exc:
-                    # Quota (AdmissionError), unknown target, malformed
-                    # request: one bad request becomes one rejected
-                    # outcome; the feed — and the admitted sessions —
-                    # keep being served.
-                    if not isinstance(exc, AdmissionError):
-                        stats.errored += 1
-                    yield SessionOutcome(
-                        request.session_id, request.tenant, None, exc
-                    )
-                    continue
-                if request.plan is None and request.target is not None:
-                    fast_tenant = request.tenant
-                    fast_group = self._groups[self._plan_key(self.default_plan)]
-                    fast_index = fast_group.index.hierarchy.index
-            finished = self.step()
-            yield from finished
-            if not finished and any(
-                group.tickets for group in self._groups.values()
-            ):
-                time.sleep(0.001)  # repro: noqa RPA004 - pool workers are walking; poll pacing only
-            if exhausted and not self.in_flight and not self._queue:
-                return
+                        request = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    rejected = self._feed_admit(request, fast)
+                    if rejected is not None:
+                        yield rejected
+                finished = self.step()
+                yield from finished
+                if not finished and any(
+                    group.tickets for group in self._groups.values()
+                ):
+                    time.sleep(0.001)  # repro: noqa RPA004 - pool workers are walking; poll pacing only
+                if exhausted and not self.in_flight and not self._queue:
+                    return
+        finally:
+            if not self._closed and (self.in_flight or self._queue):
+                self._reclaim_in_flight()
 
     async def aserve(self, feed):
-        """Async variant of :meth:`serve` for an ``async for`` feed."""
+        """Async variant of :meth:`serve` for an ``async for`` feed.
+
+        The (potentially blocking) :meth:`step` — a vectorized cohort
+        advance, and with a pool attached the stream dispatch/collect —
+        runs in a worker thread via :func:`asyncio.to_thread`, so other
+        tasks on the event loop (e.g. the network transport's connection
+        handlers) keep making progress while a cohort is stepping.
+        Admission uses the same fast path as :meth:`serve` (one shared
+        :meth:`_feed_admit`), so identical feeds take identical code
+        paths and produce byte-identical outcomes.  Cancellation or an
+        abandoned ``async for`` reclaims in-flight sessions exactly like
+        the sync feed.
+        """
         if self._closed:
             raise ServeError("the server is closed")
         iterator = feed.__aiter__()
         exhausted = False
-        while True:
-            while not exhausted and self.in_flight < self.max_sessions:
-                try:
-                    request = await iterator.__anext__()
-                except StopAsyncIteration:
-                    exhausted = True
-                    break
-                try:
-                    self.submit(request)
-                except ReproError as exc:  # reject the request, not the feed
-                    if not isinstance(exc, AdmissionError):
-                        self.stats.errored += 1
-                    yield SessionOutcome(
-                        request.session_id, request.tenant, None, exc
-                    )
-            finished = self.step()
-            for outcome in finished:
-                yield outcome
-            if not finished:
-                import asyncio
-
-                # Yield to the loop (and nap if pool workers are walking).
-                await asyncio.sleep(
-                    0.001
-                    if any(g.tickets for g in self._groups.values())
-                    else 0
+        #: In-flight ``__anext__`` task.  A *live* feed (a network
+        #: transport bridging connections through a queue) may have no
+        #: request ready for a while; awaiting it directly would stall
+        #: every in-flight cohort.  Instead the pull runs as a task: when
+        #: it has not produced yet and there is work to do, step the work
+        #: and pick the request up next tick; only an *idle* server
+        #: blocks on the feed.
+        pending: asyncio.Task | None = None
+        #: In-flight :meth:`step` thread.  Shielded: a cancellation (a
+        #: drain timeout cancelling the transport pump) cannot stop the
+        #: thread mid-cohort, so the reclaim below must wait it out —
+        #: reclaiming while the step still walks the group arrays would
+        #: race.
+        step_task: asyncio.Task | None = None
+        fast: list = [None, None, None]  # [tenant, group, index] cache
+        try:
+            while True:
+                while not exhausted and self._active < self.max_sessions:
+                    if pending is None:
+                        pending = asyncio.ensure_future(iterator.__anext__())
+                        # One loop pass so a ready feed completes the
+                        # task (static feeds admit in full, like serve).
+                        await asyncio.sleep(0)
+                    if not pending.done() and (self.in_flight or self._queue):
+                        break
+                    try:
+                        request = await pending
+                    except StopAsyncIteration:
+                        exhausted = True
+                        pending = None
+                        break
+                    pending = None
+                    rejected = self._feed_admit(request, fast)
+                    if rejected is not None:
+                        yield rejected
+                step_task = asyncio.ensure_future(
+                    asyncio.to_thread(self.step)
                 )
-            if exhausted and not self.in_flight and not self._queue:
-                return
+                try:
+                    finished = await asyncio.shield(step_task)
+                finally:
+                    if step_task.done():
+                        step_task = None
+                for outcome in finished:
+                    yield outcome
+                if not finished:
+                    # Yield to the loop (and nap if pool workers are
+                    # walking).
+                    await asyncio.sleep(
+                        0.001
+                        if any(g.tickets for g in self._groups.values())
+                        else 0
+                    )
+                if exhausted and not self.in_flight and not self._queue:
+                    return
+        finally:
+            if pending is not None:
+                pending.cancel()
+            if step_task is not None:
+                await asyncio.gather(step_task, return_exceptions=True)
+            if not self._closed and (self.in_flight or self._queue):
+                self._reclaim_in_flight()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

@@ -1,0 +1,1016 @@
+"""Network edge for :class:`~repro.serve.Server`: NDJSON over asyncio.
+
+The typed propose/observe outcome protocol was transport-ready; this
+module puts an actual wire on it using nothing beyond the stdlib.  One
+frame is one JSON object on one line (newline-delimited JSON), which
+keeps the protocol greppable in a packet capture and trivially
+implementable from any language:
+
+Client -> server::
+
+    {"op": "open", "id": "s-1", "target": "beagle"}        # batch session
+    {"op": "open", "id": "s-2", "interactive": true}       # propose/observe
+    {"op": "answer", "id": "s-2", "answer": true}
+    {"op": "close", "id": "s-2"}                           # abandon
+    {"op": "ping"}
+
+Server -> client::
+
+    {"op": "ask", "id": "s-2", "query": "is it a dog?"}
+    {"op": "result", "id": "s-1", "returned": "beagle",
+     "num_queries": 4, "total_price": 4.0, "transcript": [...]}
+    {"op": "error", "id": "s-1", "error": "AdmissionError", "message": ...}
+    {"op": "pong", "in_flight": 12, "queued": 0}
+
+Two session shapes, two serving paths:
+
+* **Target sessions** (``"target"``) ride :meth:`Server.aserve`
+  micro-batching: the transport bridges every connection's opens into
+  one queue-backed feed, and the server vectorizes whole cohorts per
+  shared plan.  This is the labelling-service hot path.
+* **Interactive sessions** (``"interactive"``) are driven by a
+  per-session :class:`~repro.serve.SessionRuntime` *at the transport
+  layer*.  The server's oracle path answers synchronously inside
+  ``step()``; routing a network round-trip through it would stall a
+  whole cohort on one slow client.  Holding the runtime on the event
+  loop instead means a slow client delays nobody but itself.
+
+Session stickiness: a session id names its session for the connection
+that opened it, and ``(tenant, id)`` is *sticky* across the transport —
+a second connection opening a live id is refused typed, so a client
+pool cannot split one logical session across backends.
+
+Backpressure, three layers, all typed
+:class:`~repro.exceptions.AdmissionError` at the client: per-connection
+open-session caps, the bounded feed bridge, and the server's own
+admission control (its rejections flow back as error frames).  A
+consumer too slow to drain its replies is disconnected rather than
+allowed to grow the outbox without bound.
+
+Graceful drain: :meth:`ServeTransport.shutdown` stops accepting, closes
+the feed, and waits for ``aserve`` to finish every admitted session —
+bounded by ``timeout`` and raising
+:class:`~repro.exceptions.ServeTimeoutError` past it, mirroring
+``Server.drain(timeout=)``.
+
+The client side (:class:`ServeClient`) wires PR 8's resilience
+primitives to the wire: a seeded
+:class:`~repro.faults.resilience.RetryPolicy` backs off on admission
+rejections, every request carries a deadline, and a per-backend
+:class:`~repro.faults.resilience.CircuitBreaker` stops hammering a dead
+backend.  Both sides cross ``transport.*`` fault boundaries
+(:func:`repro.faults.maybe_inject`), so the chaos soak covers the
+network edge too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from repro import exceptions as _exceptions
+from repro.core.session import SearchResult
+from repro.exceptions import (
+    AdmissionError,
+    ReproError,
+    ServeError,
+    ServeTimeoutError,
+    TransportError,
+)
+from repro.faults.inject import maybe_inject
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
+from repro.serve.runtime import SessionRuntime
+from repro.serve.server import Server, SessionOutcome, SessionRequest
+
+__all__ = [
+    "RemoteSession",
+    "ServeClient",
+    "ServeTransport",
+    "TransportStats",
+]
+
+#: Hard cap on one NDJSON frame (bytes, including the newline).
+MAX_FRAME_BYTES = 1 << 20
+
+#: Feed-close sentinel (also ends each connection's writer loop).
+_CLOSE = object()
+
+#: Error names the wire may carry -> typed classes the client re-raises.
+#: Built from the exception module so new ReproError subclasses are
+#: wire-transparent without touching the transport.
+_WIRE_ERRORS: dict[str, type[ReproError]] = {
+    name: obj
+    for name, obj in vars(_exceptions).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+
+
+def _encode(frame: dict) -> bytes:
+    # sort_keys makes frames byte-stable for a given payload, so wire
+    # traces diff cleanly across runs.
+    return json.dumps(frame, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def _error_frame(session_id, error: BaseException) -> dict:
+    return {
+        "op": "error",
+        "id": session_id,
+        "error": type(error).__name__,
+        "message": str(error),
+    }
+
+
+def _result_frame(session_id, result: SearchResult) -> dict:
+    return {
+        "op": "result",
+        "id": session_id,
+        "returned": result.returned,
+        "num_queries": result.num_queries,
+        "total_price": result.total_price,
+        "transcript": [[q, bool(a)] for q, a in result.transcript],
+    }
+
+
+def _decode_result(frame: dict) -> SearchResult:
+    return SearchResult(
+        returned=frame["returned"],
+        num_queries=int(frame["num_queries"]),
+        total_price=float(frame["total_price"]),
+        transcript=tuple((q, bool(a)) for q, a in frame.get("transcript", ())),
+    )
+
+
+def _decode_error(frame: dict) -> ReproError:
+    cls = _WIRE_ERRORS.get(frame.get("error", ""), TransportError)
+    return cls(frame.get("message", "remote error"))
+
+
+@dataclass
+class TransportStats:
+    """Counters over a transport's lifetime."""
+
+    connections: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
+    #: Sessions opened by shape.
+    opened_target: int = 0
+    opened_interactive: int = 0
+    #: Opens refused at the transport layer (before the server saw them).
+    rejected: int = 0
+    #: Connections dropped because their outbox overflowed (slow reader).
+    slow_disconnects: int = 0
+    #: Protocol violations (bad JSON, oversized frame, unknown op).
+    protocol_errors: int = 0
+    #: In-flight sessions whose connection vanished before the result.
+    orphaned: int = 0
+
+
+class _Connection:
+    """Per-connection state: reader identity, outbox, open sessions."""
+
+    __slots__ = (
+        "conn_id",
+        "writer",
+        "outbox",
+        "targets",
+        "interactive",
+        "sticky",
+        "writer_task",
+        "closed",
+    )
+
+    def __init__(self, conn_id: int, writer, outbox_limit: int) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbox_limit)
+        #: Client session ids with a target session in the server.
+        self.targets: set = set()
+        #: Client session id -> SessionRuntime (propose/observe shape).
+        self.interactive: dict = {}
+        #: Client session id -> (tenant, id) sticky-registry key, so a
+        #: drop releases the key under the tenant it was opened with.
+        self.sticky: dict = {}
+        self.writer_task: asyncio.Task | None = None
+        self.closed = False
+
+    @property
+    def open_sessions(self) -> int:
+        return len(self.targets) + len(self.interactive)
+
+
+class ServeTransport:
+    """Serve a :class:`~repro.serve.Server` over TCP (NDJSON frames).
+
+    Parameters
+    ----------
+    server:
+        The server to put on the wire.  Target sessions feed its
+        :meth:`~repro.serve.Server.aserve`; interactive sessions run on
+        its default plan and cost model.
+    host, port:
+        Listen address; ``port=0`` (default) picks a free port —
+        :attr:`address` reports the bound one.
+    max_sessions_per_conn:
+        Open-session cap per connection (both shapes combined); beyond
+        it an ``open`` is refused with a typed
+        :class:`~repro.exceptions.AdmissionError` frame.
+    max_interactive:
+        Transport-wide cap on concurrent interactive runtimes (each is
+        per-session state on the event loop; target sessions are capped
+        by the server's own admission control).
+    outbox_limit:
+        Reply frames buffered per connection before the peer is
+        declared a slow consumer and disconnected.
+    feed_limit:
+        Target-session opens buffered between the transport and
+        ``aserve`` before opens are refused with ``AdmissionError``.
+    tenant:
+        Default tenant attributed to sessions whose ``open`` frame
+        names none.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions_per_conn: int = 512,
+        max_interactive: int = 1024,
+        outbox_limit: int = 1024,
+        feed_limit: int = 4096,
+        tenant: str = "default",
+    ) -> None:
+        if max_sessions_per_conn < 1:
+            raise ServeError(
+                "max_sessions_per_conn must be >= 1, "
+                f"got {max_sessions_per_conn}"
+            )
+        if max_interactive < 0:
+            raise ServeError(
+                f"max_interactive must be >= 0, got {max_interactive}"
+            )
+        if outbox_limit < 1:
+            raise ServeError(f"outbox_limit must be >= 1, got {outbox_limit}")
+        if feed_limit < 1:
+            raise ServeError(f"feed_limit must be >= 1, got {feed_limit}")
+        self.server = server
+        self.stats = TransportStats()
+        self.tenant = tenant
+        self.max_sessions_per_conn = int(max_sessions_per_conn)
+        self.max_interactive = int(max_interactive)
+        self.outbox_limit = int(outbox_limit)
+        self._host = host
+        self._port = port
+        self._feed_queue: asyncio.Queue = asyncio.Queue(maxsize=feed_limit)
+        self._listener: asyncio.base_events.Server | None = None
+        self._pump: asyncio.Task | None = None
+        self._pump_error: ReproError | None = None
+        self._conns: dict[int, _Connection] = {}
+        self._next_conn_id = 0
+        #: Server session id (conn_id, client id) -> owning connection.
+        self._routes: dict = {}
+        #: Sticky registry: (tenant, client id) -> conn_id while live.
+        self._sticky: dict = {}
+        self._interactive_count = 0
+        self._draining = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the aserve pump, and return ``(host, port)``."""
+        if self._started:
+            raise ServeError("the transport is already started")
+        if self.server.closed:
+            raise ServeError("the server is closed")
+        self._started = True
+        self._listener = await asyncio.start_server(
+            self._accept, self._host, self._port, limit=MAX_FRAME_BYTES
+        )
+        self._pump = asyncio.create_task(self._run_pump())
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        if self._listener is None:
+            raise ServeError("the transport is not started")
+        return self._listener.sockets[0].getsockname()[:2]
+
+    async def __aenter__(self) -> "ServeTransport":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def shutdown(self, timeout: float | None = None) -> None:
+        """Stop accepting, drain every admitted session, close connections.
+
+        Mirrors ``Server.drain(timeout=)``: with a ``timeout`` the wait
+        for in-flight sessions is bounded, and past it the pump is
+        cancelled (reclaiming in-flight sessions via ``aserve``'s
+        abandonment path) and :class:`~repro.exceptions.ServeTimeoutError`
+        is raised.
+        """
+        if not self._started:
+            return
+        if timeout is not None and timeout <= 0:
+            raise ServeError(f"timeout must be positive, got {timeout}")
+        self._draining = True
+        maybe_inject("transport.drain")
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        pump = self._pump
+        if pump is not None and not pump.done():
+            await self._feed_queue.put(_CLOSE)
+            try:
+                if timeout is None:
+                    await pump
+                else:
+                    await asyncio.wait_for(pump, timeout)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the pump; aserve's finally reclaimed
+                # whatever was in flight.
+                await asyncio.gather(pump, return_exceptions=True)
+                raise ServeTimeoutError(
+                    f"transport drain exceeded its {timeout:g}s deadline "
+                    f"with {self.server.in_flight} session(s) in flight "
+                    f"and {self.server.queued} queued"
+                ) from None
+            finally:
+                for conn in list(self._conns.values()):
+                    await self._close_conn(conn)
+        else:
+            for conn in list(self._conns.values()):
+                await self._close_conn(conn)
+        if self._pump_error is not None:
+            raise self._pump_error
+
+    # ------------------------------------------------------------------
+    # The aserve pump: feed bridge in, outcome routing out
+    # ------------------------------------------------------------------
+    async def _feed(self):
+        while True:
+            item = await self._feed_queue.get()
+            if item is _CLOSE:
+                return
+            yield item
+
+    async def _run_pump(self) -> None:
+        try:
+            async for outcome in self.server.aserve(self._feed()):
+                self._route(outcome)
+        except ReproError as exc:
+            # A server-level failure (not a per-session error) kills the
+            # transport: remember it for shutdown() and refuse new work.
+            self._pump_error = exc
+            self._draining = True
+
+    def _route(self, outcome: SessionOutcome) -> None:
+        _, client_id = outcome.session_id
+        conn = self._routes.pop(outcome.session_id, None)
+        self._sticky.pop((outcome.tenant, client_id), None)
+        if conn is None or conn.closed:
+            self.stats.orphaned += 1
+            return
+        conn.targets.discard(client_id)
+        conn.sticky.pop(client_id, None)
+        if outcome.ok:
+            self._send(conn, _result_frame(client_id, outcome.result))
+        else:
+            self._send(conn, _error_frame(client_id, outcome.error))
+
+    def _send(self, conn: _Connection, frame: dict) -> None:
+        """Queue a reply; a full outbox means a slow reader — disconnect."""
+        if conn.closed:
+            return
+        try:
+            conn.outbox.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.stats.slow_disconnects += 1
+            self._abandon_conn(conn)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _accept(self, reader, writer) -> None:
+        try:
+            maybe_inject("transport.accept")
+        except ReproError:
+            writer.close()
+            return
+        conn = _Connection(self._next_conn_id, writer, self.outbox_limit)
+        self._next_conn_id += 1
+        if self._draining:
+            writer.write(
+                _encode(
+                    _error_frame(None, ServeError("the transport is draining"))
+                )
+            )
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._conns[conn.conn_id] = conn
+        self.stats.connections += 1
+        conn.writer_task = asyncio.create_task(self._write_loop(conn))
+        try:
+            await self._read_loop(conn, reader)
+        finally:
+            await self._close_conn(conn)
+
+    async def _read_loop(self, conn: _Connection, reader) -> None:
+        while not conn.closed:
+            try:
+                line = await reader.readline()
+            except (
+                asyncio.LimitOverrunError,
+                ValueError,
+                ConnectionError,
+                OSError,
+            ):
+                # Oversized frame or torn connection: protocol over.
+                self.stats.protocol_errors += 1
+                return
+            if not line:
+                return  # EOF: the client hung up
+            try:
+                maybe_inject("transport.read")
+            except ReproError as exc:
+                self._send(conn, _error_frame(None, exc))
+                return
+            try:
+                frame = json.loads(line)
+                if not isinstance(frame, dict):
+                    raise TransportError("frames must be JSON objects")
+            except (json.JSONDecodeError, TransportError) as exc:
+                self.stats.protocol_errors += 1
+                self._send(conn, _error_frame(None, TransportError(str(exc))))
+                return
+            self.stats.frames_in += 1
+            self._dispatch(conn, frame)
+
+    def _dispatch(self, conn: _Connection, frame: dict) -> None:
+        op = frame.get("op")
+        if op == "ping":
+            self._send(
+                conn,
+                {
+                    "op": "pong",
+                    "in_flight": self.server.in_flight,
+                    "queued": self.server.queued,
+                    "draining": self._draining,
+                },
+            )
+        elif op == "open":
+            self._open(conn, frame)
+        elif op == "answer":
+            self._answer(conn, frame)
+        elif op == "close":
+            self._abandon_session(conn, frame.get("id"))
+        else:
+            self.stats.protocol_errors += 1
+            self._send(
+                conn,
+                _error_frame(
+                    frame.get("id"), TransportError(f"unknown op {op!r}")
+                ),
+            )
+
+    def _open(self, conn: _Connection, frame: dict) -> None:
+        client_id = frame.get("id")
+        tenant = frame.get("tenant", self.tenant)
+        try:
+            maybe_inject("transport.open")
+            if client_id is None:
+                raise TransportError("open frames need an id")
+            if self._draining:
+                raise ServeError("the transport is draining")
+            sticky_key = (tenant, client_id)
+            if sticky_key in self._sticky:
+                where = (
+                    "this connection"
+                    if self._sticky[sticky_key] == conn.conn_id
+                    else "another connection"
+                )
+                raise TransportError(
+                    f"session {client_id!r} is already open on {where} "
+                    "(ids are sticky while a session is live)"
+                )
+            if conn.open_sessions >= self.max_sessions_per_conn:
+                raise AdmissionError(
+                    f"connection at its session cap "
+                    f"({self.max_sessions_per_conn}); finish or close a "
+                    "session first"
+                )
+            if frame.get("interactive"):
+                self._open_interactive(conn, client_id, sticky_key)
+            else:
+                self._open_target(conn, frame, client_id, tenant, sticky_key)
+        except ReproError as exc:
+            self.stats.rejected += 1
+            self._send(conn, _error_frame(client_id, exc))
+
+    def _open_target(
+        self, conn: _Connection, frame: dict, client_id, tenant, sticky_key
+    ) -> None:
+        target = frame.get("target")
+        if target is None:
+            raise TransportError(
+                "open frames need target= (or interactive=true)"
+            )
+        request = SessionRequest(
+            session_id=(conn.conn_id, client_id),
+            target=target,
+            tenant=tenant,
+        )
+        try:
+            self._feed_queue.put_nowait(request)
+        except asyncio.QueueFull:
+            raise AdmissionError(
+                f"the feed bridge is full ({self._feed_queue.maxsize} "
+                "opens buffered); back off and retry"
+            ) from None
+        self._routes[request.session_id] = conn
+        self._sticky[sticky_key] = conn.conn_id
+        conn.sticky[client_id] = sticky_key
+        conn.targets.add(client_id)
+        self.stats.opened_target += 1
+
+    def _open_interactive(self, conn: _Connection, client_id, sticky_key):
+        if self._interactive_count >= self.max_interactive:
+            raise AdmissionError(
+                f"transport at its interactive-session cap "
+                f"({self.max_interactive}); back off and retry"
+            )
+        plan = self.server.default_plan
+        if plan is None:
+            raise ServeError(
+                "interactive sessions need a server default plan"
+            )
+        runtime = SessionRuntime(
+            plan,
+            cost_model=self.server.model,
+            max_queries=self.server.max_queries,
+        )
+        conn.interactive[client_id] = runtime
+        self._interactive_count += 1
+        self._sticky[sticky_key] = conn.conn_id
+        conn.sticky[client_id] = sticky_key
+        self.stats.opened_interactive += 1
+        self._advance_interactive(conn, client_id, runtime)
+
+    def _answer(self, conn: _Connection, frame: dict) -> None:
+        client_id = frame.get("id")
+        runtime = conn.interactive.get(client_id)
+        if runtime is None:
+            self._send(
+                conn,
+                _error_frame(
+                    client_id,
+                    TransportError(
+                        f"no interactive session {client_id!r} on this "
+                        "connection"
+                    ),
+                ),
+            )
+            return
+        if "answer" not in frame:
+            self._send(
+                conn,
+                _error_frame(
+                    client_id, TransportError("answer frames need answer=")
+                ),
+            )
+            return
+        try:
+            runtime.observe(bool(frame["answer"]))
+        except ReproError as exc:  # protocol misuse: typed, session over
+            self._drop_interactive(conn, client_id)
+            self._send(conn, _error_frame(client_id, exc))
+            return
+        self._advance_interactive(conn, client_id, runtime)
+
+    def _advance_interactive(
+        self, conn: _Connection, client_id, runtime: SessionRuntime
+    ) -> None:
+        """Send the session's next frame: the next question, or the result."""
+        if runtime.done():
+            self._drop_interactive(conn, client_id)
+            self._send(conn, _result_frame(client_id, runtime.result()))
+            return
+        try:
+            query = runtime.propose()
+        except ReproError as exc:  # budget exhausted, typed
+            self._drop_interactive(conn, client_id)
+            self._send(conn, _error_frame(client_id, exc))
+            return
+        self._send(conn, {"op": "ask", "id": client_id, "query": query})
+
+    def _drop_interactive(self, conn: _Connection, client_id) -> None:
+        if conn.interactive.pop(client_id, None) is not None:
+            self._interactive_count -= 1
+            sticky_key = conn.sticky.pop(client_id, None)
+            if sticky_key is not None:
+                self._sticky.pop(sticky_key, None)
+
+    def _abandon_session(self, conn: _Connection, client_id) -> None:
+        """Client walked away from one session (explicit ``close`` frame)."""
+        self._drop_interactive(conn, client_id)
+        if client_id in conn.targets:
+            # The server finishes the session (cohorts are vectorized;
+            # plucking one out would cost more than letting it run) but
+            # its outcome now has nowhere to go: unroute it so _route
+            # counts it orphaned instead of writing to the connection.
+            conn.targets.discard(client_id)
+            self._routes.pop((conn.conn_id, client_id), None)
+            sticky_key = conn.sticky.pop(client_id, None)
+            if sticky_key is not None:
+                self._sticky.pop(sticky_key, None)
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    async def _write_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                frame = await conn.outbox.get()
+                if frame is _CLOSE:
+                    return
+                maybe_inject("transport.write")
+                conn.writer.write(_encode(frame))
+                await conn.writer.drain()
+                self.stats.frames_out += 1
+        except (ConnectionError, OSError, ReproError):
+            # Torn pipe or injected write fault: close the socket so the
+            # peer (and our reader loop) see EOF now, not at their next
+            # deadline, and the reader tears the connection down.
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    def _abandon_conn(self, conn: _Connection) -> None:
+        """Synchronous part of teardown (callable from the pump)."""
+        if conn.closed:
+            return
+        conn.closed = True
+        # Interactive sessions die with their connection.
+        for client_id in list(conn.interactive):
+            self._drop_interactive(conn, client_id)
+        # Target sessions keep running in the server; orphan their routes.
+        for client_id in list(conn.targets):
+            self._routes.pop((conn.conn_id, client_id), None)
+            sticky_key = conn.sticky.pop(client_id, None)
+            if sticky_key is not None:
+                self._sticky.pop(sticky_key, None)
+        conn.targets.clear()
+        self._conns.pop(conn.conn_id, None)
+
+    async def _close_conn(self, conn: _Connection) -> None:
+        self._abandon_conn(conn)
+        if conn.writer_task is not None and not conn.writer_task.done():
+            # Let queued frames flush, then stop the writer.
+            try:
+                conn.outbox.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                conn.writer_task.cancel()
+            await asyncio.gather(conn.writer_task, return_exceptions=True)
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class RemoteSession:
+    """One interactive propose/observe session over the wire."""
+
+    __slots__ = ("_client", "id", "query", "result", "done")
+
+    def __init__(self, client: "ServeClient", session_id) -> None:
+        self._client = client
+        self.id = session_id
+        #: The pending question (None once done).
+        self.query = None
+        #: The finished :class:`SearchResult` (None while open).
+        self.result: SearchResult | None = None
+        self.done = False
+
+    def _absorb(self, frame: dict) -> None:
+        if frame["op"] == "ask":
+            self.query = frame["query"]
+        elif frame["op"] == "result":
+            self.query = None
+            self.result = _decode_result(frame)
+            self.done = True
+        else:
+            self.query = None
+            self.done = True
+            raise _decode_error(frame)
+
+    async def answer(self, answer: bool, *, deadline=None) -> "RemoteSession":
+        """Answer the pending question; updates :attr:`query`/:attr:`result`."""
+        if self.done:
+            raise TransportError(f"session {self.id!r} already finished")
+        frame = await self._client._request(
+            {"op": "answer", "id": self.id, "answer": bool(answer)},
+            self.id,
+            deadline=deadline,
+        )
+        self._absorb(frame)
+        return self
+
+    async def close(self) -> None:
+        """Abandon the session server-side (fire and forget)."""
+        if not self.done:
+            self.done = True
+            await self._client._post({"op": "close", "id": self.id})
+
+
+class ServeClient:
+    """Session client for a :class:`ServeTransport` backend.
+
+    Multiplexes any number of concurrent sessions over one connection
+    (frames are dispatched by session id), with the resilience layer on
+    every request path:
+
+    * ``deadline`` — per-request wall-clock bound
+      (:class:`~repro.exceptions.TransportError` past it);
+    * ``retry`` — a :class:`~repro.faults.resilience.RetryPolicy`
+      applied to admission rejections (``AdmissionError``), the one
+      failure mode the server *asks* the client to retry;
+    * ``breaker`` — a per-backend
+      :class:`~repro.faults.resilience.CircuitBreaker`: transport-level
+      failures trip it, after which requests fail fast until the
+      cooldown's single probe succeeds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        deadline: float = 30.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        tenant: str | None = None,
+    ) -> None:
+        if deadline <= 0:
+            raise ServeError(f"deadline must be positive, got {deadline}")
+        self.host = host
+        self.port = int(port)
+        self.deadline = float(deadline)
+        self.retry = retry if retry is not None else RetryPolicy(attempts=3)
+        self.breaker = breaker
+        self.tenant = tenant
+        self._reader = None
+        self._writer = None
+        self._reader_task: asyncio.Task | None = None
+        #: Session id -> inbox of reply frames for that session.
+        self._inbox: dict = {}
+        #: Futures awaiting a pong (id-less frames).
+        self._pongs: list[asyncio.Future] = []
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **kwargs) -> "ServeClient":
+        """Dial the backend (with the retry policy) and start reading."""
+        client = cls(host, port, **kwargs)
+        await client._connect()
+        return client
+
+    async def _connect(self) -> None:
+        policy = self.retry
+        for attempt in range(policy.attempts):
+            try:
+                maybe_inject("transport.connect")
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_FRAME_BYTES
+                )
+                break
+            except (ConnectionError, OSError, ReproError):
+                if attempt == policy.attempts - 1:
+                    raise
+                await asyncio.sleep(policy.delay_for(attempt))
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def __aenter__(self) -> "ServeClient":
+        if self._writer is None:
+            await self._connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_waiters(TransportError("the client is closed"))
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line)
+                except json.JSONDecodeError:
+                    break
+                session_id = frame.get("id")
+                if frame.get("op") == "pong" or session_id is None:
+                    waiters = self._pongs
+                    if waiters:
+                        waiter = waiters.pop(0)
+                        if not waiter.done():
+                            waiter.set_result(frame)
+                    continue
+                inbox = self._inbox.get(session_id)
+                if inbox is not None:
+                    inbox.put_nowait(frame)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fail_waiters(
+                TransportError(
+                    f"connection to {self.host}:{self.port} closed"
+                )
+            )
+
+    def _fail_waiters(self, error: ReproError) -> None:
+        fail = {"op": "error", "error": type(error).__name__,
+                "message": str(error)}
+        for inbox in self._inbox.values():
+            inbox.put_nowait(fail)
+        for waiter in self._pongs:
+            if not waiter.done():
+                waiter.set_result(fail)
+        self._pongs.clear()
+
+    async def _post(self, frame: dict) -> None:
+        if self._writer is None or self._closed:
+            raise TransportError("the client is not connected")
+        self._writer.write(_encode(frame))
+        await self._writer.drain()
+
+    def _gate(self) -> None:
+        """Circuit-breaker admission: fail fast while the backend is out."""
+        breaker = self.breaker
+        if breaker is None:
+            return
+        breaker.tick()
+        if breaker.state == CircuitBreaker.OPEN:
+            raise TransportError(
+                f"circuit breaker open for {self.host}:{self.port} "
+                f"(cooling down; {breaker.trips} trip(s) so far)"
+            )
+
+    async def _request(self, frame: dict, session_id, *, deadline=None):
+        """Send one frame and await the next reply for ``session_id``."""
+        self._gate()
+        bound = self.deadline if deadline is None else deadline
+        inbox = self._inbox.get(session_id)
+        if inbox is None:
+            inbox = self._inbox[session_id] = asyncio.Queue()
+        try:
+            maybe_inject("transport.request")
+            await self._post(frame)
+            reply = await asyncio.wait_for(inbox.get(), bound)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise TransportError(
+                f"request {frame.get('op')!r} for session {session_id!r} "
+                f"failed against {self.host}:{self.port}: "
+                f"{type(exc).__name__}: {exc or 'deadline exceeded'}"
+            ) from exc
+        except TransportError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return reply
+
+    def _finish(self, session_id) -> None:
+        self._inbox.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    # The session API
+    # ------------------------------------------------------------------
+    async def ping(self, *, deadline=None) -> dict:
+        """Round-trip a ping; returns the pong payload."""
+        self._gate()
+        bound = self.deadline if deadline is None else deadline
+        waiter = asyncio.get_running_loop().create_future()
+        self._pongs.append(waiter)
+        try:
+            maybe_inject("transport.request")
+            await self._post({"op": "ping"})
+            frame = await asyncio.wait_for(waiter, bound)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if waiter in self._pongs:
+                self._pongs.remove(waiter)
+            raise TransportError(
+                f"ping against {self.host}:{self.port} failed: "
+                f"{type(exc).__name__}: {exc or 'deadline exceeded'}"
+            ) from exc
+        except TransportError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if frame.get("op") == "error":
+            raise _decode_error(frame)
+        return frame
+
+    async def serve_target(
+        self, session_id, target, *, deadline=None
+    ) -> SearchResult:
+        """Open a target session and await its result.
+
+        Admission rejections (the server asking for backoff) are retried
+        under the client's :class:`RetryPolicy`; any other typed error is
+        re-raised as its original :class:`~repro.exceptions.ReproError`
+        subclass.
+        """
+        frame = {"op": "open", "id": session_id, "target": target}
+        if self.tenant is not None:
+            frame["tenant"] = self.tenant
+        policy = self.retry
+        try:
+            for attempt in range(policy.attempts):
+                reply = await self._request(
+                    frame, session_id, deadline=deadline
+                )
+                if reply["op"] == "result":
+                    return _decode_result(reply)
+                error = _decode_error(reply)
+                retryable = isinstance(error, AdmissionError) and not (
+                    isinstance(error, _exceptions.QuotaExceededError)
+                )
+                if not retryable or attempt == policy.attempts - 1:
+                    raise error
+                await asyncio.sleep(policy.delay_for(attempt))
+            raise TransportError("retry budget spent")  # unreachable
+        finally:
+            self._finish(session_id)
+
+    async def open_interactive(
+        self, session_id, *, deadline=None
+    ) -> RemoteSession:
+        """Open a propose/observe session; returns it with the first query."""
+        frame = {"op": "open", "id": session_id, "interactive": True}
+        if self.tenant is not None:
+            frame["tenant"] = self.tenant
+        session = RemoteSession(self, session_id)
+        reply = await self._request(frame, session_id, deadline=deadline)
+        session._absorb(reply)
+        return session
+
+    async def run_target_session(
+        self, session_id, oracle, *, deadline=None
+    ) -> SearchResult:
+        """Drive an interactive session against a local oracle until done.
+
+        The network mirror of :meth:`SessionRuntime.run` — each question
+        crosses the wire, the ``oracle`` answers locally.
+        """
+        session = await self.open_interactive(session_id, deadline=deadline)
+        try:
+            while not session.done:
+                answer = bool(oracle.answer(session.query))
+                await session.answer(answer, deadline=deadline)
+        finally:
+            self._finish(session_id)
+        return session.result

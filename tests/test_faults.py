@@ -28,6 +28,7 @@ suite passes in a tier-1 run without ``REPRO_FAULTS`` set.
 
 from __future__ import annotations
 
+import asyncio
 import time
 
 import numpy as np
@@ -48,6 +49,7 @@ from repro.exceptions import (
     ReproError,
     ServeError,
     ServeTimeoutError,
+    TransportError,
 )
 from repro.faults import (
     FAULT_SITES,
@@ -63,7 +65,7 @@ from repro.faults import inject as _inject
 from repro.plan import CompiledPlan, compile_policy
 from repro.plan.cache import PlanCache
 from repro.policies import GreedyTreePolicy
-from repro.serve import Server, SessionRequest
+from repro.serve import Server, ServeClient, ServeTransport, SessionRequest
 from repro.testing import make_random_tree, random_distribution
 
 
@@ -678,3 +680,126 @@ class TestMiniSoak:
                         assert isinstance(outcome.error, ReproError), (
                             f"seed {seed} trace {fault.trace}"
                         )
+
+
+# ----------------------------------------------------------------------
+# 8. The network edge: transport.* fault sites
+# ----------------------------------------------------------------------
+class TestTransportFaults:
+    def test_registry_has_transport_sites(self):
+        assert FAULT_SITES["transport.request"] is TransportError
+        assert FAULT_SITES["transport.open"] is AdmissionError
+        assert FAULT_SITES["transport.drain"] is ServeTimeoutError
+        assert site_exception("transport.connect") is TransportError
+
+    def test_connect_fault_absorbed_by_retry(self, faults_on):
+        """An injected dial failure is retried away by the RetryPolicy."""
+        plan, hierarchy, _ = _config(n=30)
+        target = list(hierarchy.nodes)[3]
+        reference = run_search(
+            plan, ExactOracle(hierarchy, target), hierarchy
+        )
+        fault = FaultPlan([FaultSpec("crash", at="transport.connect")])
+
+        async def main():
+            with Server(plan) as server:
+                async with ServeTransport(server) as transport:
+                    host, port = transport.address
+                    with fault.armed():
+                        client = await ServeClient.connect(
+                            host,
+                            port,
+                            retry=RetryPolicy(attempts=2, base_delay=0.001),
+                        )
+                        try:
+                            return await client.serve_target("s", target)
+                        finally:
+                            await client.close()
+
+        result = asyncio.run(main())
+        assert result == reference
+        assert fault.trace == [("transport.connect", 1, "crash")]
+
+    def test_open_fault_is_typed_and_retried(self, faults_on):
+        """A crash at transport.open surfaces as AdmissionError on the
+        wire, which the client's retry policy absorbs."""
+        plan, hierarchy, _ = _config(n=30)
+        target = list(hierarchy.nodes)[5]
+        reference = run_search(
+            plan, ExactOracle(hierarchy, target), hierarchy
+        )
+        fault = FaultPlan([FaultSpec("crash", at="transport.open")])
+
+        async def main():
+            with Server(plan) as server:
+                async with ServeTransport(server) as transport:
+                    host, port = transport.address
+                    client = await ServeClient.connect(
+                        host,
+                        port,
+                        retry=RetryPolicy(attempts=3, base_delay=0.001),
+                    )
+                    try:
+                        with fault.armed():
+                            return await client.serve_target("s", target)
+                    finally:
+                        await client.close()
+
+        result = asyncio.run(main())
+        assert result == reference
+        assert ("transport.open", 1, "crash") in fault.trace
+
+    def test_request_fault_trips_the_breaker(self, faults_on):
+        """A transport-level failure trips the per-backend breaker:
+        requests fail fast during the cooldown, then one probe restores."""
+        plan, hierarchy, _ = _config(n=30)
+        targets = list(hierarchy.nodes)[:4]
+        fault = FaultPlan([FaultSpec("crash", at="transport.request")])
+        breaker = CircuitBreaker(cooldown=3)
+
+        async def main():
+            failures = []
+            with Server(plan) as server:
+                async with ServeTransport(server) as transport:
+                    host, port = transport.address
+                    client = await ServeClient.connect(
+                        host, port, breaker=breaker
+                    )
+                    try:
+                        with fault.armed():
+                            for i, t in enumerate(targets):
+                                try:
+                                    await client.serve_target(f"s-{i}", t)
+                                except TransportError as exc:
+                                    failures.append(str(exc))
+                    finally:
+                        await client.close()
+            return failures
+
+        failures = asyncio.run(main())
+        # Request 1: injected crash (trip).  Requests 2-3: refused fast
+        # while cooling down.  Request 4: half-open probe succeeds.
+        assert len(failures) == 3
+        assert "injected fault" in failures[0]
+        assert all("circuit breaker open" in f for f in failures[1:])
+        assert breaker.trips == 1
+        assert breaker.restores == 1
+
+    def test_drain_fault_is_typed(self, faults_on):
+        """An injected fault in the drain window surfaces as the
+        registered ServeTimeoutError, never untyped."""
+        plan, _, _ = _config(n=30)
+        fault = FaultPlan([FaultSpec("crash", at="transport.drain")])
+
+        async def main():
+            with Server(plan) as server:
+                transport = ServeTransport(server)
+                await transport.start()
+                with fault.armed():
+                    with pytest.raises(ServeTimeoutError, match="injected"):
+                        await transport.shutdown(timeout=5.0)
+                # The typed failure aborted the drain before the feed
+                # closed; a clean retry finishes the shutdown.
+                await transport.shutdown(timeout=5.0)
+
+        asyncio.run(main())
