@@ -33,6 +33,7 @@ from repro.core import (
     CandidateGraph,
     CountingOracle,
     DecisionTree,
+    ErrorRateModel,
     ExactOracle,
     Hierarchy,
     MajorityVoteOracle,
@@ -52,10 +53,12 @@ from repro.core import (
 from repro.engine import (
     EngineResult,
     EngineResultCache,
+    NoisyResult,
     VectorPolicy,
     set_default_jobs,
     set_default_result_cache,
     simulate_all_targets,
+    simulate_noisy,
 )
 from repro.exceptions import (
     BudgetExceededError,
@@ -98,12 +101,14 @@ __all__ = [
     "DistributionError",
     "EngineResult",
     "EngineResultCache",
+    "ErrorRateModel",
     "ExactOracle",
     "Hierarchy",
     "HierarchyError",
     "LazyPlan",
     "MajorityVoteOracle",
     "NoisyOracle",
+    "NoisyResult",
     "Oracle",
     "OracleError",
     "PlanCache",
@@ -133,5 +138,6 @@ __all__ = [
     "set_default_jobs",
     "set_default_result_cache",
     "simulate_all_targets",
+    "simulate_noisy",
     "__version__",
 ]

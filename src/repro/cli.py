@@ -177,6 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults (default: 0.02)",
     )
     parser.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.1,
+        metavar="P",
+        help="noise experiment: crowd flip probability in [0, 0.5) "
+        "(default: 0.1); every strategy row of the noise table is one "
+        "vectorized belief-engine sweep at this rate",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=3,
+        metavar="R",
+        help="noise experiment: independent noisy searches per sampled "
+        "target (default: 3); seeded per (target, replication), so "
+        "results are identical for every --jobs/--pool setting",
+    )
+    parser.add_argument(
         "--rate",
         type=float,
         default=200.0,
@@ -507,7 +525,20 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        EXPERIMENTS[name](scale, args.seed)
+        if name == "noise":
+            # The noise experiment grew belief-engine knobs beyond the
+            # uniform (scale, seed) signature; jobs/pool flow through the
+            # ambient defaults installed above.
+            from repro.experiments import noise as noise_experiment
+
+            noise_experiment.main(
+                scale,
+                args.seed,
+                error_rate=args.error_rate,
+                replications=args.replications,
+            )
+        else:
+            EXPERIMENTS[name](scale, args.seed)
         elapsed = time.perf_counter() - start
         print(f"[{name} finished in {elapsed:.1f}s]\n")
     return 0

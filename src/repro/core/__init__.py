@@ -12,19 +12,26 @@ from repro.core.distribution import SYNTHETIC_FAMILIES, TargetDistribution
 from repro.core.hierarchy import DUMMY_ROOT, Hierarchy
 from repro.core.oracle import (
     CountingOracle,
+    ErrorRateModel,
     ExactOracle,
     MajorityVoteOracle,
     NoisyOracle,
     Oracle,
 )
 from repro.core.policy import Policy, PolicyFactory
-from repro.core.session import SearchResult, run_search, search_for_target
+from repro.core.session import (
+    SearchResult,
+    default_budget,
+    run_search,
+    search_for_target,
+)
 
 __all__ = [
     "CandidateGraph",
     "CountingOracle",
     "DecisionTree",
     "DUMMY_ROOT",
+    "ErrorRateModel",
     "ExactOracle",
     "Hierarchy",
     "Leaf",
@@ -41,6 +48,7 @@ __all__ = [
     "TargetDistribution",
     "UnitCost",
     "build_decision_tree",
+    "default_budget",
     "random_costs",
     "run_search",
     "search_for_target",

@@ -8,8 +8,11 @@ modelled by:
 * :class:`NoisyOracle` — flips answers, either independently per question
   (transient noise) or with a fixed per-node error pattern (the *persistent*
   noise the paper's future-work section highlights);
-* :class:`MajorityVoteOracle` — asks a noisy oracle ``2t + 1`` times per
-  question and takes the majority, a standard crowdsourcing mitigation;
+* :class:`ErrorRateModel` — the declarative noise configuration (scalar or
+  per-node rates, transient or persistent) shared by the per-session oracles
+  here and the vectorized belief engine (:mod:`repro.engine.belief`);
+* :class:`MajorityVoteOracle` — asks a noisy oracle up to ``2t + 1`` times
+  per question and takes the majority, a standard crowdsourcing mitigation;
 * :class:`CountingOracle` — a wrapper accounting for the number of questions
   and their total price under a :class:`~repro.core.costs.QueryCostModel`.
 """
@@ -17,13 +20,21 @@ modelled by:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Hashable
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.costs import QueryCostModel, UnitCost
 from repro.core.hierarchy import Hierarchy
 from repro.exceptions import OracleError
+
+
+def _check_rate(rate: float, what: str = "error_rate") -> float:
+    rate = float(rate)
+    if not 0.0 <= rate < 0.5:
+        raise OracleError(f"{what} must be in [0, 0.5), got {rate}")
+    return rate
 
 
 class Oracle(ABC):
@@ -71,6 +82,16 @@ class NoisyOracle(Oracle):
         the same node then return the same (possibly wrong) answer.  This
         models the persistent noise observed in prior IGS experiments
         (Section VII).  When false, each question flips independently.
+    node_rates:
+        Optional per-node overrides, mapping node label to the flip
+        probability used for questions on that node (others keep
+        ``error_rate``).  Models crowds that are reliably confused only about
+        specific categories.
+
+    The generator is consumed one uniform per *drawn* flip, in question
+    order (persistent mode draws only on a node's first visit).  The
+    vectorized belief engine (:mod:`repro.engine.belief`) replays this exact
+    consumption pattern, which is what makes the two bit-identical.
     """
 
     def __init__(
@@ -80,35 +101,51 @@ class NoisyOracle(Oracle):
         rng: np.random.Generator,
         *,
         persistent: bool = False,
+        node_rates: Mapping[Hashable, float] | None = None,
     ) -> None:
-        if not 0.0 <= error_rate < 0.5:
-            raise OracleError(
-                f"error_rate must be in [0, 0.5), got {error_rate}"
-            )
         self.inner = inner
-        self.error_rate = error_rate
+        self.error_rate = _check_rate(error_rate)
         self.persistent = persistent
+        self.node_rates = dict(node_rates) if node_rates else None
+        if self.node_rates:
+            for node, rate in self.node_rates.items():
+                self.node_rates[node] = _check_rate(
+                    rate, what=f"node_rates[{node!r}]"
+                )
         self._rng = rng
         self._flips: dict[Hashable, bool] = {}
+
+    def rate_for(self, query: Hashable) -> float:
+        if self.node_rates is not None:
+            return self.node_rates.get(query, self.error_rate)
+        return self.error_rate
 
     def answer(self, query: Hashable) -> bool:
         truth = self.inner.answer(query)
         if self.persistent:
             flip = self._flips.get(query)
             if flip is None:
-                flip = bool(self._rng.random() < self.error_rate)
+                flip = bool(self._rng.random() < self.rate_for(query))
                 self._flips[query] = flip
         else:
-            flip = bool(self._rng.random() < self.error_rate)
+            flip = bool(self._rng.random() < self.rate_for(query))
         return truth ^ flip
 
 
 class MajorityVoteOracle(Oracle):
-    """Repeats each question ``2t + 1`` times and returns the majority answer.
+    """Majority-votes each question over up to ``2t + 1`` repetitions.
 
-    Each repetition is charged separately when combined with a
-    :class:`CountingOracle` placed *inside* this wrapper; place the counter
-    outside to charge one unit per majority-voted question instead.
+    Voting early-stops as soon as the outcome is mathematically decided:
+    once either side reaches ``t + 1`` agreeing answers the remaining
+    repetitions cannot change the majority, so they are never asked.  A
+    unanimous crowd therefore costs ``t + 1`` repetitions, a maximally
+    split one the full ``2t + 1``.
+
+    Each *asked* repetition is charged separately when combined with a
+    :class:`CountingOracle` placed *inside* this wrapper (so the inner
+    counter records between ``t + 1`` and ``2t + 1`` answers per question);
+    place the counter outside to charge one unit per majority-voted
+    question instead.
     """
 
     def __init__(self, inner: Oracle, *, votes: int = 3) -> None:
@@ -118,8 +155,86 @@ class MajorityVoteOracle(Oracle):
         self.votes = votes
 
     def answer(self, query: Hashable) -> bool:
-        yes = sum(1 for _ in range(self.votes) if self.inner.answer(query))
-        return yes * 2 > self.votes
+        need = self.votes // 2 + 1
+        yes = no = 0
+        while yes < need and no < need:
+            if self.inner.answer(query):
+                yes += 1
+            else:
+                no += 1
+        return yes >= need
+
+
+@dataclass(frozen=True)
+class ErrorRateModel:
+    """Declarative crowd-noise configuration for noisy evaluation.
+
+    Combines a scalar base flip probability, optional per-node overrides,
+    and the transient-vs-persistent distinction into one picklable value
+    shared by the per-session oracle stack (:meth:`make_oracle`) and the
+    vectorized belief engine (:func:`repro.engine.belief.simulate_noisy`).
+
+    ``rate == 0.0`` with no overrides models the exact crowd; the oracle it
+    builds still consumes one uniform per (first-visit) question so that
+    clean and noisy runs stay stream-compatible.
+    """
+
+    rate: float = 0.0
+    node_rates: Mapping[Hashable, float] | None = None
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, what="rate")
+        if self.node_rates is not None:
+            object.__setattr__(
+                self,
+                "node_rates",
+                {
+                    node: _check_rate(rate, what=f"node_rates[{node!r}]")
+                    for node, rate in self.node_rates.items()
+                },
+            )
+
+    @property
+    def noiseless(self) -> bool:
+        """True when no question can ever flip."""
+        if self.rate != 0.0:
+            return False
+        return not self.node_rates or all(
+            rate == 0.0 for rate in self.node_rates.values()
+        )
+
+    def rate_for(self, node: Hashable) -> float:
+        if self.node_rates is not None:
+            return self.node_rates.get(node, self.rate)
+        return self.rate
+
+    def as_array(self, hierarchy: Hierarchy) -> np.ndarray:
+        """Dense per-node flip probabilities aligned with node indices."""
+        rates = np.full(hierarchy.n, self.rate, dtype=np.float64)
+        if self.node_rates:
+            for node, rate in self.node_rates.items():
+                if node not in hierarchy:
+                    raise OracleError(
+                        f"node_rates key {node!r} is not a hierarchy node"
+                    )
+                rates[hierarchy.index(node)] = rate
+        return rates
+
+    def make_oracle(
+        self,
+        hierarchy: Hierarchy,
+        target: Hashable,
+        rng: np.random.Generator,
+    ) -> NoisyOracle:
+        """Per-session reference oracle realizing this model for ``target``."""
+        return NoisyOracle(
+            ExactOracle(hierarchy, target),
+            self.rate,
+            rng,
+            persistent=self.persistent,
+            node_rates=self.node_rates,
+        )
 
 
 class CountingOracle(Oracle):

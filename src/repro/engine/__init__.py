@@ -7,12 +7,21 @@ experiments (Fig. 6) presume, instead of one ``run_search`` per target.
 See :mod:`repro.engine.driver` for the algorithm, :mod:`repro.engine.vector`
 for the undo protocol and splitting kernels, :mod:`repro.engine.parallel`
 for the sharded multi-process walk (``jobs=``), :mod:`repro.engine.cache`
-for the persistent engine-result cache (``result_cache=``), and
+for the persistent engine-result cache (``result_cache=``),
 :mod:`repro.engine.pool` for the persistent shared-memory worker pool
 (``pool=``) that serves repeated and multi-policy evaluations without
-re-forking or re-pickling plans.
+re-forking or re-pickling plans, and :mod:`repro.engine.belief` for the
+batched noisy-oracle evaluation path (posterior kernels, seeded flip
+draws, majority voting) behind the noise study.
 """
 
+from repro.engine.belief import (
+    NoisyResult,
+    make_belief_updater,
+    posterior_from_transcript,
+    reference_noisy,
+    simulate_noisy,
+)
 from repro.engine.cache import (
     EngineResultCache,
     as_result_cache,
@@ -51,6 +60,7 @@ __all__ = [
     "EngineResult",
     "EngineResultCache",
     "EvaluationPool",
+    "NoisyResult",
     "PlanStream",
     "SPLITTER_KINDS",
     "VectorPolicy",
@@ -61,7 +71,11 @@ __all__ = [
     "get_default_result_cache",
     "is_vector_policy",
     "make_answerer",
+    "make_belief_updater",
     "make_splitter",
+    "posterior_from_transcript",
+    "reference_noisy",
+    "simulate_noisy",
     "resolve_jobs",
     "resolve_pool",
     "resolve_result_cache",

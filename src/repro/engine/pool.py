@@ -389,6 +389,17 @@ def _worker_loop(tasks, results, attached, order, _plan_walk, make_splitter):
                         pid,
                     )
                 )
+            elif kind == "noise":
+                # One shard of a batched noisy sweep (repro.engine.belief).
+                # Deterministic by construction: the spec carries global
+                # session ids, and each session's seed derives from its id,
+                # so any dealing of shards to workers is bit-identical.
+                from repro.engine.belief import run_noise_chunk
+
+                _, _, key, seg_name, spec = msg
+                plan, hierarchy = _worker_attach(attached, order, key, seg_name)
+                payload = run_noise_chunk(plan, hierarchy, spec)
+                results.put((task_id, "ok", payload, pid))
             elif kind == "sleep":
                 # Failure-injection aid for the test suite and the fault
                 # layer's "stall" kind: occupies this worker so callers
@@ -900,6 +911,47 @@ class EvaluationPool:
             for key in acquired:
                 self._release_after_walk(key)
         return totals
+
+    def run_noise(
+        self, plan, hierarchy, specs, *, deadline: float | None = None
+    ) -> list:
+        """Fan a batched noisy sweep's shards over the warm workers.
+
+        Each spec is a :class:`repro.engine.belief.NoiseChunkSpec`;
+        returns the per-shard payload dicts in spec order.  The plan and
+        hierarchy are published once (shared memory), so repeated sweeps
+        over one plan never re-pickle it; worker deaths restart and
+        resubmit exactly as in :meth:`run_batch` — shards are pure, so
+        duplicates are dropped by task id.
+        """
+        self._ensure_started()
+        specs = list(specs)
+        payloads: list = [None] * len(specs)
+        pending: dict[int, tuple] = {}
+        handlers: dict[int, object] = {}
+        key = None
+        try:
+            key, seg_name = self._acquire_for_walk(plan, hierarchy)
+            for index, spec in enumerate(specs):
+                task_id = next(self._task_ids)
+                msg = ("noise", task_id, key, seg_name, spec)
+                pending[task_id] = msg
+
+                def keep(payload, index=index):
+                    payloads[index] = payload
+
+                handlers[task_id] = keep
+                self._tasks.put(msg)
+            self._collect(
+                pending,
+                handlers,
+                deadline=self.deadline if deadline is None else deadline,
+            )
+            self.walks += 1
+        finally:
+            if key is not None:
+                self._release_after_walk(key)
+        return payloads
 
     def _collect(
         self, pending: dict, handlers: dict, *, deadline: float | None = None

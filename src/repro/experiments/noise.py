@@ -3,63 +3,39 @@
 Not a paper artifact: the paper *motivates* noise handling as future work.
 This experiment quantifies the starting point on the reproduction datasets —
 labelling accuracy and query spend of the greedy policy under transient and
-persistent crowd noise, with per-question majority voting and per-search
-repetition as mitigations.
+persistent crowd noise, with per-question majority voting, per-search
+repetition, and posterior (MAP) stopping as mitigations.
+
+Every strategy row is one :func:`repro.engine.belief.simulate_noisy` sweep:
+all ``replications`` noisy searches of all sampled targets advance through
+one compiled plan in a few vectorized steps, instead of one ``run_search``
+per session.  Accounting is honest under heavy noise — dead-ended and
+budget-exhausted runs keep their query spend (they asked and paid; they
+just failed), and the ``Failures`` column reports how many cells produced
+no label at all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.oracle import ExactOracle, MajorityVoteOracle, NoisyOracle
-from repro.core.session import run_search
-from repro.exceptions import SearchError
+from repro.core import ErrorRateModel
 from repro.experiments.datasets import build_datasets
 from repro.experiments.reporting import Table
 from repro.experiments.scale import SMALL, Scale
-from repro.policies import greedy_for, repeated_search_majority
+from repro.plan import compile_policy
+from repro.policies import greedy_for
 
 
-def _measure(policy, hierarchy, distribution, targets, make_oracle):
-    """(accuracy, average questions) over the sampled targets."""
-    correct = 0
-    questions = 0
-    for target in targets:
-        oracle = make_oracle(target)
-        try:
-            result = run_search(
-                policy, oracle, hierarchy, distribution,
-                max_queries=4 * hierarchy.n,
-            )
-        except SearchError:
-            continue
-        correct += result.returned == target
-        questions += result.num_queries
-    return correct / len(targets), questions / len(targets)
-
-
-def _measure_repeated(policy, hierarchy, distribution, targets, make_oracle,
-                      repeats):
-    correct = 0
-    questions = 0
-    for target in targets:
-        try:
-            label, spent = repeated_search_majority(
-                policy,
-                lambda: make_oracle(target),
-                hierarchy,
-                distribution,
-                repeats=repeats,
-                max_queries_per_run=4 * hierarchy.n,
-            )
-        except SearchError:
-            continue
-        correct += label == target
-        questions += spent
-    return correct / len(targets), questions / len(targets)
-
-
-def run(scale: Scale = SMALL, seed: int = 0, *, error_rate: float = 0.1) -> Table:
+def run(
+    scale: Scale = SMALL,
+    seed: int = 0,
+    *,
+    error_rate: float = 0.1,
+    replications: int = 3,
+    jobs: int | None = None,
+    pool=None,
+) -> Table:
     amazon, _ = build_datasets(scale, seed)
     hierarchy = amazon.hierarchy
     distribution = amazon.real_distribution
@@ -67,60 +43,73 @@ def run(scale: Scale = SMALL, seed: int = 0, *, error_rate: float = 0.1) -> Tabl
     rng = np.random.default_rng([seed, 80])
     sample_size = min(scale.max_targets or 150, 150)
     targets = distribution.sample(rng, size=sample_size)
+    budget = 4 * hierarchy.n
+    # Compile once; every strategy row walks the same frozen plan.
+    plan = compile_policy(
+        policy, hierarchy, distribution, max_depth=budget
+    )
 
-    def noisy(target, *, persistent=False):
-        return NoisyOracle(
-            ExactOracle(hierarchy, target),
-            error_rate,
-            np.random.default_rng(int(rng.integers(2**32))),
-            persistent=persistent,
-        )
+    transient = ErrorRateModel(error_rate)
+    persistent = ErrorRateModel(error_rate, persistent=True)
+    rows = [
+        ("clean oracle", ErrorRateModel(0.0), {}),
+        ("transient noise", transient, {}),
+        ("transient + 5-vote majority", transient, {"votes": 5}),
+        ("transient + 3 repeated searches", transient, {"repeats": 3}),
+        ("transient + MAP stop @ 0.95", transient, {"map_threshold": 0.95}),
+        ("persistent noise", persistent, {}),
+        ("persistent + 3 repeated searches", persistent, {"repeats": 3}),
+    ]
 
     table = Table(
         f"Noise study — greedy on {amazon.name}, error rate {error_rate:.0%} "
-        f"(scale={scale.name}, {sample_size} targets)",
-        ("Strategy", "Accuracy", "Avg questions"),
+        f"(scale={scale.name}, {sample_size} targets x {replications} "
+        f"replications)",
+        ("Strategy", "Accuracy", "Avg questions", "Failures"),
     )
-    rows = [
-        ("clean oracle", lambda t: ExactOracle(hierarchy, t), None),
-        ("transient noise", noisy, None),
-        (
-            "transient + 5-vote majority",
-            lambda t: MajorityVoteOracle(noisy(t), votes=5),
-            None,
-        ),
-        ("transient + 3 repeated searches", noisy, 3),
-        (
-            "persistent noise",
-            lambda t: noisy(t, persistent=True),
-            None,
-        ),
-        (
-            "persistent + 3 repeated searches",
-            lambda t: noisy(t, persistent=True),
-            3,
-        ),
-    ]
-    for name, make_oracle, repeats in rows:
-        if repeats is None:
-            accuracy, cost = _measure(
-                policy, hierarchy, distribution, targets, make_oracle
-            )
-        else:
-            accuracy, cost = _measure_repeated(
-                policy, hierarchy, distribution, targets, make_oracle, repeats
-            )
+    from repro.engine.belief import simulate_noisy
+
+    for name, model, extra in rows:
+        result = simulate_noisy(
+            plan,
+            hierarchy,
+            distribution,
+            error_model=model,
+            targets=targets,
+            replications=replications,
+            seed=seed,
+            max_queries=budget,
+            jobs=jobs,
+            pool=pool,
+            **extra,
+        )
         table.add_row(
             {
                 "Strategy": name,
-                "Accuracy": f"{accuracy:.1%}",
-                "Avg questions": cost,
+                "Accuracy": f"{result.accuracy():.1%}",
+                "Avg questions": result.mean_queries(),
+                "Failures": f"{int(result.failed.sum())}/{result.labels.size}",
             }
         )
     return table
 
 
-def main(scale: Scale = SMALL, seed: int = 0) -> str:
-    output = run(scale, seed).render()
+def main(
+    scale: Scale = SMALL,
+    seed: int = 0,
+    *,
+    error_rate: float = 0.1,
+    replications: int = 3,
+    jobs: int | None = None,
+    pool=None,
+) -> str:
+    output = run(
+        scale,
+        seed,
+        error_rate=error_rate,
+        replications=replications,
+        jobs=jobs,
+        pool=pool,
+    ).render()
     print(output)
     return output

@@ -18,7 +18,10 @@ from repro.policies.optimal import (
 )
 from repro.policies.random_policy import RandomPolicy
 from repro.policies.registry import available_policies, greedy_for, make_policy
-from repro.policies.robust import repeated_search_majority
+from repro.policies.robust import (
+    batched_repeated_search_majority,
+    repeated_search_majority,
+)
 from repro.policies.static_tree import StaticTreePolicy
 from repro.policies.topdown import TopDownPolicy
 from repro.policies.wigs import WigsPolicy
@@ -35,6 +38,7 @@ __all__ = [
     "RandomPolicy",
     "StaticTreePolicy",
     "TopDownPolicy",
+    "batched_repeated_search_majority",
     "repeated_search_majority",
     "WigsPolicy",
     "available_policies",

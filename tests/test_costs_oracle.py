@@ -8,11 +8,25 @@ import pytest
 from repro.core.costs import TableCost, UnitCost, random_costs
 from repro.core.oracle import (
     CountingOracle,
+    ErrorRateModel,
     ExactOracle,
     MajorityVoteOracle,
     NoisyOracle,
 )
 from repro.exceptions import CostModelError, OracleError
+
+
+class _ScriptedOracle:
+    """Answers from a fixed script; counts how many were consumed."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.asked = 0
+
+    def answer(self, query):
+        answer = self.script[self.asked]
+        self.asked += 1
+        return answer
 
 
 class TestCostModels:
@@ -138,6 +152,68 @@ class TestMajorityVote:
         voted = MajorityVoteOracle(noisy, votes=21)
         for q in wrong_nodes:
             assert voted.answer(q) != inner.answer(q)
+
+    def test_early_stop_pins_vote_counts(self):
+        """Voting stops the moment the majority is mathematically decided."""
+        cases = [
+            # (scripted votes, expected answer, votes actually consumed)
+            ([True, True, True], True, 3),  # unanimous: t+1 of 5 suffice
+            ([False, False, False], False, 3),
+            ([True, False, True, True], True, 4),
+            ([True, False, False, True, True], True, 5),  # maximally split
+            ([False, True, True, False, False], False, 5),
+        ]
+        for script, expected, consumed in cases:
+            inner = _ScriptedOracle(script)
+            voted = MajorityVoteOracle(inner, votes=5)
+            assert voted.answer("q") is expected
+            assert inner.asked == consumed
+
+    def test_early_stop_single_vote(self):
+        inner = _ScriptedOracle([True])
+        assert MajorityVoteOracle(inner, votes=1).answer("q") is True
+        assert inner.asked == 1
+
+    def test_inner_counter_sees_only_asked_votes(self, vehicle_hierarchy):
+        """The inner-CountingOracle contract from the docstring."""
+        inner = CountingOracle(ExactOracle(vehicle_hierarchy, "Sentra"))
+        voted = MajorityVoteOracle(inner, votes=7)
+        voted.answer("Car")  # exact oracle: unanimous, stops at t+1 = 4
+        assert inner.num_queries == 4
+
+
+class TestErrorRateModel:
+    def test_validates_rates(self):
+        with pytest.raises(OracleError):
+            ErrorRateModel(0.5)
+        with pytest.raises(OracleError):
+            ErrorRateModel(0.1, node_rates={"Car": 0.7})
+
+    def test_noiseless(self):
+        assert ErrorRateModel(0.0).noiseless
+        assert ErrorRateModel(0.0, node_rates={"Car": 0.0}).noiseless
+        assert not ErrorRateModel(0.1).noiseless
+        assert not ErrorRateModel(0.0, node_rates={"Car": 0.2}).noiseless
+
+    def test_as_array_applies_overrides(self, vehicle_hierarchy):
+        model = ErrorRateModel(0.1, node_rates={"Car": 0.3})
+        rates = model.as_array(vehicle_hierarchy)
+        assert rates[vehicle_hierarchy.index("Car")] == 0.3
+        assert rates[vehicle_hierarchy.index("Sentra")] == 0.1
+
+    def test_as_array_rejects_unknown_node(self, vehicle_hierarchy):
+        model = ErrorRateModel(0.1, node_rates={"Tesla": 0.3})
+        with pytest.raises(OracleError, match="Tesla"):
+            model.as_array(vehicle_hierarchy)
+
+    def test_make_oracle_respects_node_rates(self, vehicle_hierarchy):
+        model = ErrorRateModel(0.0, node_rates={"Honda": 0.49})
+        oracle = model.make_oracle(
+            vehicle_hierarchy, "Sentra", np.random.default_rng(1)
+        )
+        flips = sum(oracle.answer("Honda") for _ in range(500))
+        assert 0.35 < flips / 500 < 0.6  # Honda flips near its 0.49 rate
+        assert all(oracle.answer("Nissan") for _ in range(50))  # base 0.0
 
 
 class TestCountingOracle:
